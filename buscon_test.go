@@ -1,0 +1,169 @@
+package buscon_test
+
+import (
+	"math/rand"
+	"testing"
+
+	buscon "repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	plat := buscon.DefaultPlatform()
+	if plat.NumCores != 4 || plat.Cache.NumSets != 256 || plat.DMem != 5 || plat.SlotSize != 2 {
+		t.Fatalf("DefaultPlatform = %+v", plat)
+	}
+	pool, err := buscon.BenchmarkPool(plat.Cache)
+	if err != nil {
+		t.Fatalf("BenchmarkPool: %v", err)
+	}
+	if len(pool) != 20 {
+		t.Fatalf("pool size = %d, want 20", len(pool))
+	}
+	ts, err := buscon.GenerateTaskSet(buscon.GenConfig{
+		Platform:        plat,
+		TasksPerCore:    8,
+		CoreUtilization: 0.3,
+	}, pool, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("GenerateTaskSet: %v", err)
+	}
+	if len(ts.Tasks) != 32 {
+		t.Fatalf("tasks = %d, want 32", len(ts.Tasks))
+	}
+
+	for _, arb := range []buscon.Arbiter{buscon.FP, buscon.RR, buscon.TDMA, buscon.Perfect} {
+		base, err := buscon.Analyze(ts, buscon.AnalysisConfig{Arbiter: arb})
+		if err != nil {
+			t.Fatalf("%v: %v", arb, err)
+		}
+		aware, err := buscon.Analyze(ts, buscon.AnalysisConfig{Arbiter: arb, Persistence: true})
+		if err != nil {
+			t.Fatalf("%v: %v", arb, err)
+		}
+		if base.Schedulable && !aware.Schedulable {
+			t.Errorf("%v: persistence-aware lost a baseline-schedulable set", arb)
+		}
+		if len(base.Tasks) != 32 || len(aware.Tasks) != 32 {
+			t.Errorf("%v: result task counts %d/%d", arb, len(base.Tasks), len(aware.Tasks))
+		}
+	}
+}
+
+func TestFacadeNewTaskSet(t *testing.T) {
+	plat := buscon.DefaultPlatform()
+	pool, err := buscon.BenchmarkPool(plat.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool[0]
+	task := &buscon.Task{
+		Name: p.Name, Core: 0, Priority: 0,
+		PD: p.PD, MD: p.MD, MDr: p.MDr,
+		Period: 1_000_000, Deadline: 1_000_000,
+		UCB: p.UCB, ECB: p.ECB, PCB: p.PCB,
+	}
+	ts := buscon.NewTaskSet(plat, []*buscon.Task{task})
+	res, err := buscon.Analyze(ts, buscon.AnalysisConfig{Arbiter: buscon.FP, Persistence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatal("single light task must be schedulable")
+	}
+	want := p.PD + buscon.Time(p.MD)*plat.DMem
+	if got := res.Tasks[0].WCRT; got != want {
+		t.Errorf("WCRT = %d, want isolated demand %d", got, want)
+	}
+}
+
+func TestFacadeExplainAndSensitivity(t *testing.T) {
+	plat := buscon.DefaultPlatform()
+	plat.NumCores = 2
+	pool, err := buscon.BenchmarkPool(plat.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := buscon.GenerateTaskSet(buscon.GenConfig{
+		Platform: plat, TasksPerCore: 3, CoreUtilization: 0.2,
+	}, pool, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := buscon.AnalysisConfig{Arbiter: buscon.RR, Persistence: true}
+
+	ex, err := buscon.Explain(ts, cfg, ts.Tasks[len(ts.Tasks)-1].Priority)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if ex.BAT <= 0 || ex.BusTime != buscon.Time(ex.BAT)*plat.DMem {
+		t.Errorf("explanation inconsistent: %+v", ex)
+	}
+
+	maxD, err := buscon.MaxDMem(ts, cfg, 1<<14)
+	if err != nil {
+		t.Fatalf("MaxDMem: %v", err)
+	}
+	if maxD < plat.DMem {
+		res, err := buscon.Analyze(ts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedulable {
+			t.Errorf("MaxDMem %d below platform d_mem %d for a schedulable set", maxD, plat.DMem)
+		}
+	}
+
+	k, err := buscon.CriticalScaling(ts, cfg, 1e-3)
+	if err != nil {
+		t.Fatalf("CriticalScaling: %v", err)
+	}
+	if k <= 0 {
+		t.Errorf("CriticalScaling = %g", k)
+	}
+}
+
+func TestFacadeSimulateSuite(t *testing.T) {
+	plat := buscon.DefaultPlatform()
+	plat.NumCores = 2
+	plat.Cache.NumSets = 64
+	pool, err := buscon.BenchmarkPool(plat.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restrict to small-trace benchmarks to keep the horizon cheap.
+	var small []buscon.BenchmarkParams
+	for _, p := range pool {
+		switch p.Name {
+		case "lcdnum", "cnt", "qurt":
+			small = append(small, p)
+		}
+	}
+	ts, err := buscon.GenerateTaskSet(buscon.GenConfig{
+		Platform: plat, TasksPerCore: 2, CoreUtilization: 0.2,
+	}, small, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := buscon.AnalysisConfig{Arbiter: buscon.RR, Persistence: true}
+	ana, err := buscon.Analyze(ts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := buscon.SimulateSuite(ts, buscon.RR, 2)
+	if err != nil {
+		t.Fatalf("SimulateSuite: %v", err)
+	}
+	if simRes.DeadlineMisses != 0 && ana.Schedulable {
+		t.Fatal("observed deadline misses for a schedulable set")
+	}
+	if ana.Schedulable {
+		for _, tr := range ana.Tasks {
+			if obs := simRes.MaxResponse[tr.Priority]; obs > tr.WCRT {
+				t.Fatalf("task %s: observed %d > bound %d", tr.Name, obs, tr.WCRT)
+			}
+		}
+	}
+	if _, err := buscon.SimulateSuite(ts, buscon.Perfect, 1); err == nil {
+		t.Fatal("Perfect arbiter accepted by the simulator")
+	}
+}

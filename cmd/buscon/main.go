@@ -1,0 +1,199 @@
+// Command buscon analyses a task set file and reports per-task WCRT
+// bounds and schedulability under the chosen bus arbiter, with or
+// without cache persistence awareness.
+//
+// Usage:
+//
+//	buscon -in taskset.json -arbiter rr -persistence
+//
+// Task set files are produced by cmd/gentaskset or by hand (see
+// internal/taskmodel's JSON format).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/crpd"
+	"repro/internal/persistence"
+	"repro/internal/taskmodel"
+)
+
+func parseArbiter(s string) (core.Arbiter, error) {
+	switch strings.ToLower(s) {
+	case "fp":
+		return core.FP, nil
+	case "rr":
+		return core.RR, nil
+	case "tdma":
+		return core.TDMA, nil
+	case "perfect":
+		return core.Perfect, nil
+	default:
+		return 0, fmt.Errorf("unknown arbiter %q (want fp, rr, tdma or perfect)", s)
+	}
+}
+
+func parseCRPD(s string) (crpd.Approach, error) {
+	switch strings.ToLower(s) {
+	case "ecb-union":
+		return crpd.ECBUnion, nil
+	case "ucb-only":
+		return crpd.UCBOnly, nil
+	case "ecb-only":
+		return crpd.ECBOnly, nil
+	case "ucb-union":
+		return crpd.UCBUnion, nil
+	case "combined":
+		return crpd.Combined, nil
+	default:
+		return 0, fmt.Errorf("unknown CRPD approach %q", s)
+	}
+}
+
+func parseCPRO(s string) (persistence.CPROApproach, error) {
+	switch strings.ToLower(s) {
+	case "union":
+		return persistence.Union, nil
+	case "multiset":
+		return persistence.MultisetUnion, nil
+	case "full":
+		return persistence.FullReload, nil
+	case "none":
+		return persistence.None, nil
+	default:
+		return 0, fmt.Errorf("unknown CPRO approach %q", s)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "task set JSON file (required; - for stdin)")
+	arbS := flag.String("arbiter", "rr", "bus arbiter: fp, rr, tdma or perfect")
+	persist := flag.Bool("persistence", false, "enable the cache persistence-aware analysis (Lemmas 1-2)")
+	crpdS := flag.String("crpd", "ecb-union", "CRPD approach: ecb-union, ucb-only, ecb-only, ucb-union, combined")
+	cproS := flag.String("cpro", "union", "CPRO approach: union, multiset, full, none")
+	compare := flag.Bool("compare", false, "also run the opposite persistence setting and print both")
+	explain := flag.Int("explain", -1, "decompose the WCRT bound of the task with this priority")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -in")
+	}
+	var f *os.File
+	if *in == "-" {
+		f = os.Stdin
+	} else {
+		var err error
+		f, err = os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	ts, err := taskmodel.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+
+	arb, err := parseArbiter(*arbS)
+	if err != nil {
+		return err
+	}
+	crpdAp, err := parseCRPD(*crpdS)
+	if err != nil {
+		return err
+	}
+	cproAp, err := parseCPRO(*cproS)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.Config{Arbiter: arb, Persistence: *persist, CRPD: crpdAp, CPRO: cproAp}
+	res, err := core.Analyze(ts, cfg)
+	if err != nil {
+		return err
+	}
+
+	var other *core.Result
+	if *compare {
+		otherCfg := cfg
+		otherCfg.Persistence = !cfg.Persistence
+		if other, err = core.Analyze(ts, otherCfg); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("platform: %d cores, %d cache sets x %d B, d_mem=%d, slot=%d\n",
+		ts.Platform.NumCores, ts.Platform.Cache.NumSets, ts.Platform.Cache.BlockSizeBytes,
+		ts.Platform.DMem, ts.Platform.SlotSize)
+	fmt.Printf("analysis: %s bus, persistence=%v, crpd=%s, cpro=%s\n\n", arb, *persist, crpdAp, cproAp)
+
+	if !res.Schedulable {
+		fmt.Println("note: analysis aborted at the first deadline miss; WCRTs of other tasks are mid-iteration estimates")
+		fmt.Println()
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if other != nil {
+		fmt.Fprintln(tw, "task\tcore\tprio\tT=D\tWCRT\tWCRT(other)\tverdict")
+	} else {
+		fmt.Fprintln(tw, "task\tcore\tprio\tT=D\tWCRT\tverdict")
+	}
+	for i, tr := range res.Tasks {
+		verdict := "OK"
+		if !tr.Schedulable {
+			verdict = "DEADLINE MISS"
+		}
+		wcrt := fmt.Sprint(tr.WCRT)
+		if !tr.Schedulable {
+			wcrt = ">" + fmt.Sprint(tr.Deadline)
+		}
+		if other != nil {
+			ow := fmt.Sprint(other.Tasks[i].WCRT)
+			if !other.Tasks[i].Schedulable {
+				ow = ">" + fmt.Sprint(other.Tasks[i].Deadline)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\t%s\n", tr.Name, tr.Core, tr.Priority, tr.Deadline, wcrt, ow, verdict)
+		} else {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\n", tr.Name, tr.Core, tr.Priority, tr.Deadline, wcrt, verdict)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nbus utilization: %.3f\n", ts.BusUtilization())
+	if res.Schedulable {
+		fmt.Println("task set: SCHEDULABLE")
+	} else {
+		fmt.Println("task set: NOT SCHEDULABLE")
+	}
+	if other != nil {
+		fmt.Printf("with persistence=%v: schedulable=%v\n", !cfg.Persistence, other.Schedulable)
+	}
+	if *explain >= 0 {
+		ex, err := core.Explain(ts, cfg, *explain)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := ex.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if !res.Schedulable {
+		os.Exit(2)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "buscon:", err)
+		os.Exit(1)
+	}
+}

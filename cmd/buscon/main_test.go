@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crpd"
+	"repro/internal/persistence"
+)
+
+func TestParseArbiter(t *testing.T) {
+	cases := map[string]core.Arbiter{
+		"fp": core.FP, "FP": core.FP,
+		"rr": core.RR, "RR": core.RR,
+		"tdma": core.TDMA, "TDMA": core.TDMA,
+		"perfect": core.Perfect, "Perfect": core.Perfect,
+	}
+	for in, want := range cases {
+		got, err := parseArbiter(in)
+		if err != nil || got != want {
+			t.Errorf("parseArbiter(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseArbiter("priority"); err == nil {
+		t.Error("parseArbiter(priority) accepted")
+	}
+}
+
+func TestParseCRPD(t *testing.T) {
+	cases := map[string]crpd.Approach{
+		"ecb-union": crpd.ECBUnion,
+		"ucb-only":  crpd.UCBOnly,
+		"ecb-only":  crpd.ECBOnly,
+		"ucb-union": crpd.UCBUnion,
+		"combined":  crpd.Combined,
+	}
+	for in, want := range cases {
+		got, err := parseCRPD(in)
+		if err != nil || got != want {
+			t.Errorf("parseCRPD(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseCRPD("magic"); err == nil {
+		t.Error("parseCRPD(magic) accepted")
+	}
+}
+
+func TestParseCPRO(t *testing.T) {
+	cases := map[string]persistence.CPROApproach{
+		"union":    persistence.Union,
+		"multiset": persistence.MultisetUnion,
+		"full":     persistence.FullReload,
+		"none":     persistence.None,
+	}
+	for in, want := range cases {
+		got, err := parseCPRO(in)
+		if err != nil || got != want {
+			t.Errorf("parseCPRO(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseCPRO("magic"); err == nil {
+		t.Error("parseCPRO(magic) accepted")
+	}
+}

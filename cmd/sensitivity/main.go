@@ -1,0 +1,90 @@
+// Command sensitivity locates the edge of schedulability for a task
+// set: the largest tolerable memory access time d_mem, and the
+// critical period-scaling factor, under every bus arbiter with and
+// without persistence awareness. It quantifies, in model-parameter
+// units rather than verdicts, how much margin cache persistence
+// awareness buys.
+//
+// Usage:
+//
+//	sensitivity -in taskset.json
+//	gentaskset -util 0.3 | sensitivity -in -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/taskmodel"
+)
+
+func run() error {
+	in := flag.String("in", "", "task set JSON file (required; - for stdin)")
+	limit := flag.Int64("dmem-limit", 1<<16, "upper bound for the d_mem search")
+	tol := flag.Float64("tol", 1e-3, "relative tolerance of the scaling search")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -in")
+	}
+
+	f := os.Stdin
+	if *in != "-" {
+		var err error
+		f, err = os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	ts, err := taskmodel.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("platform: %d cores, %d sets, d_mem=%d; %d tasks, bus utilization %.3f\n\n",
+		ts.Platform.NumCores, ts.Platform.Cache.NumSets, ts.Platform.DMem,
+		len(ts.Tasks), ts.BusUtilization())
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "analysis\tschedulable\tmax d_mem\tcritical scaling")
+	for _, arb := range []core.Arbiter{core.FP, core.RR, core.TDMA} {
+		for _, persistence := range []bool{false, true} {
+			cfg := core.Config{Arbiter: arb, Persistence: persistence}
+			name := arb.String()
+			if persistence {
+				name += "-CP"
+			}
+			res, err := core.Analyze(ts, cfg)
+			if err != nil {
+				return err
+			}
+			maxD, err := core.MaxDMem(ts, cfg, taskmodel.Time(*limit))
+			if err != nil {
+				return err
+			}
+			scaling := "-"
+			if k, err := core.CriticalScaling(ts, cfg, *tol); err == nil {
+				scaling = fmt.Sprintf("%.3f", k)
+			}
+			fmt.Fprintf(tw, "%s\t%v\t%d\t%s\n", name, res.Schedulable, maxD, scaling)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nmax d_mem: largest memory latency the analysis still proves schedulable")
+	fmt.Println("critical scaling: smallest factor on all periods/deadlines that is schedulable")
+	fmt.Println("(< 1 means headroom; persistence-aware rows should never show less margin)")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Command wcetextract runs the static WCET/cache analysis (the
+// repository's Heptane stand-in) over the synthetic benchmark suite
+// and prints the extracted task parameters — the regenerated Table I.
+//
+// Usage:
+//
+//	wcetextract                     # whole suite at 256 sets
+//	wcetextract -sets 128           # different geometry
+//	wcetextract -bench fdct -refs   # one benchmark with per-reference detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/benchsuite"
+	"repro/internal/experiments"
+	"repro/internal/program"
+	"repro/internal/taskmodel"
+)
+
+func run() error {
+	sets := flag.Int("sets", 256, "cache sets")
+	blockSize := flag.Int("block", 32, "cache block size (bytes)")
+	bench := flag.String("bench", "", "analyse a single benchmark by name (default: whole suite)")
+	file := flag.String("file", "", "analyse a custom program from a JSON file (see internal/program)")
+	refs := flag.Bool("refs", false, "with -bench/-file: print per-reference classifications")
+	ways := flag.Int("ways", 1, "cache associativity (LRU)")
+	flag.Parse()
+
+	cache := taskmodel.CacheConfig{NumSets: *sets, BlockSizeBytes: *blockSize, Associativity: *ways}
+
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prog, err := program.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+		return printOne(benchsuite.Benchmark{Name: prog.Name, Prog: prog}, cache, *refs)
+	}
+
+	if *bench == "" {
+		rows, err := experiments.Table1(cache)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("static analysis at %d sets x %d B\n\n", *sets, *blockSize)
+		return experiments.RenderTable1(os.Stdout, rows)
+	}
+
+	b, err := benchsuite.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	return printOne(b, cache, *refs)
+}
+
+// printOne analyses a single program and prints its parameters.
+func printOne(b benchsuite.Benchmark, cache taskmodel.CacheConfig, refs bool) error {
+	p, err := benchsuite.Extract(b, cache)
+	if err != nil {
+		return err
+	}
+	r := p.Result
+	fmt.Printf("%s @ %d sets x %d B, %d-way\n", p.Name, cache.NumSets, cache.BlockSizeBytes, cache.Ways())
+	fmt.Printf("  PD      = %d cycles\n", r.PD)
+	fmt.Printf("  MD      = %d accesses (exact: %d)\n", r.MD, r.MDExact)
+	fmt.Printf("  MD^r    = %d accesses (exact: %d)\n", r.MDr, r.MDrExact)
+	fmt.Printf("  ECB     = %d sets %v\n", r.ECB.Count(), r.ECB)
+	fmt.Printf("  PCB     = %d sets %v\n", r.PCB.Count(), r.PCB)
+	fmt.Printf("  UCB     = %d sets %v\n", r.UCB.Count(), r.UCB)
+	fmt.Printf("  persistent blocks: %v\n", r.PCBBlocks)
+
+	if refs {
+		fmt.Println()
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "#\tblock\tset\tclass\texec\tmisses")
+		for i, ref := range r.Refs {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%d\t%d\n", i, ref.Block, ref.Set, ref.Class, ref.ExecCount, ref.Misses)
+		}
+		return tw.Flush()
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wcetextract:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Paperexample replays the worked example of Section IV (Fig. 1 of the
+// paper) and prints every intermediate quantity next to the value the
+// paper derives: the CRPD γ_{2,1,x}, the multi-job demand M̂D, the
+// CPRO ρ̂_{1,2,x}(3), and the same-core/remote access bounds with and
+// without persistence awareness.
+//
+// Run with:
+//
+//	go run ./examples/paperexample
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/persistence"
+)
+
+func check(name string, got, want int64) {
+	status := "ok"
+	if got != want {
+		status = "MISMATCH"
+	}
+	fmt.Printf("  %-38s = %-4d (paper: %d)  %s\n", name, got, want, status)
+}
+
+func main() {
+	ts := fixtures.Fig1TaskSet()
+	fmt.Println("Fig. 1 example: τ1, τ2 on core π_x; τ3 on core π_y; RR bus, s = 1")
+	fmt.Println()
+
+	// Analyzer with the example's remote response-time estimate for τ3
+	// (four full jobs fit the analysed window of length 100).
+	newAnalyzer := func(p bool) *core.Analyzer {
+		a, err := core.NewAnalyzer(ts, core.Config{Arbiter: core.RR, Persistence: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a.R[2] = 26
+		return a
+	}
+	base := newAnalyzer(false)
+	aware := newAnalyzer(true)
+	const window = 100
+
+	fmt.Println("cache persistence machinery:")
+	t1 := ts.ByName("tau1")
+	check("M̂D_1(3)  (Eq. 10)", persistence.MDHat(t1, 3), 8)
+	check("ρ̂_{1,2,x}(3)  (Eq. 14)", persistence.RhoHat(ts, persistence.Union, 0, 1, 0, 3), 4)
+
+	fmt.Println("\nbaseline analysis (Davis et al.):")
+	check("BAS_2^x(R2)  (Eq. 12)", base.BAS(1, 0, window), 32)
+	check("BAO_3^y(R2)  (Eq. 13)", base.BAO(2, 1, window), 24)
+	check("BAT_2^x(R2)  (Eq. 11)", base.BAT(1, window), 56)
+
+	fmt.Println("\npersistence-aware analysis (this paper):")
+	check("B̂AS_2^x(R2)  (Eq. 15/16)", aware.BAS(1, 0, window), 26)
+	check("B̂AO_3^y(R2)  (Lemma 2)", aware.BAO(2, 1, window), 9)
+	check("B̂AT_2^x(R2)", aware.BAT(1, window), 35)
+
+	fmt.Println()
+	fmt.Println("The persistence-aware bound counts 35 bus accesses against the")
+	fmt.Println("baseline's 56 for the same window: the three jobs of τ1 reload")
+	fmt.Println("only memory block {9} plus the PCBs {5,6} evicted by τ2, and the")
+	fmt.Println("four jobs of τ3 pay their full demand only once.")
+}

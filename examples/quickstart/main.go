@@ -1,0 +1,89 @@
+// Quickstart: generate random task sets the way the paper's
+// evaluation does, then bound every task's worst-case response time on
+// a Round-Robin bus with and without cache persistence awareness.
+//
+// Two loads are analysed: a light one where both analyses succeed (so
+// the per-task tightening is visible) and a heavier one that only the
+// persistence-aware analysis proves schedulable — the paper's headline
+// effect.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	buscon "repro"
+)
+
+func analyze(ts *buscon.TaskSet, persistence bool) *buscon.Result {
+	res, err := buscon.Analyze(ts, buscon.AnalysisConfig{Arbiter: buscon.RR, Persistence: persistence})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	// The paper's default platform: 4 cores, 256-set direct-mapped L1
+	// instruction caches, d_mem = 5 cycles, RR/TDMA slot size 2.
+	plat := buscon.DefaultPlatform()
+
+	// Extract task parameters (PD, MD, MD^r, UCB/ECB/PCB) from the
+	// built-in benchmark suite with the static cache analysis.
+	pool, err := buscon.BenchmarkPool(plat.Cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen := func(util float64) *buscon.TaskSet {
+		ts, err := buscon.GenerateTaskSet(buscon.GenConfig{
+			Platform:        plat,
+			TasksPerCore:    8,
+			CoreUtilization: util,
+		}, pool, rand.New(rand.NewSource(2020)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ts
+	}
+
+	// Light load: both analyses converge; compare the WCRT bounds.
+	light := gen(0.15)
+	baseline, aware := analyze(light, false), analyze(light, true)
+	fmt.Println("RR bus, 32 tasks on 4 cores, per-core utilization 0.15:")
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "task\tcore\tdeadline\tWCRT baseline\tWCRT persistence-aware\ttightening")
+	for i, b := range baseline.Tasks {
+		a := aware.Tasks[i]
+		gain := "-"
+		if b.WCRT > 0 {
+			gain = fmt.Sprintf("%.1f%%", 100*float64(b.WCRT-a.WCRT)/float64(b.WCRT))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\n", b.Name, b.Core, b.Deadline, b.WCRT, a.WCRT, gain)
+	}
+	tw.Flush()
+
+	// Heavier load: the baseline analysis aborts at its first provable
+	// deadline miss, while the persistence-aware analysis still proves
+	// the whole set schedulable.
+	heavy := gen(0.30)
+	baseline, aware = analyze(heavy, false), analyze(heavy, true)
+	fmt.Println()
+	fmt.Println("Same workload shape at per-core utilization 0.30:")
+	fmt.Printf("  baseline analysis:          schedulable = %v\n", baseline.Schedulable)
+	fmt.Printf("  persistence-aware analysis: schedulable = %v\n", aware.Schedulable)
+	if !baseline.Schedulable && aware.Schedulable {
+		fmt.Println()
+		fmt.Println("Cache persistence awareness proves a task set schedulable that the")
+		fmt.Println("baseline bus contention analysis rejects — the effect behind the")
+		fmt.Println("paper's up-to-70-percentage-point schedulability improvements.")
+	}
+}

@@ -1,0 +1,281 @@
+package cacheset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(256)
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count() = %d, want 0", got)
+	}
+	if !s.IsEmpty() {
+		t.Fatal("IsEmpty() = false, want true")
+	}
+	if s.Capacity() != 256 {
+		t.Fatalf("Capacity() = %d, want 256", s.Capacity())
+	}
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("Contains(%d) before Add, want false", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) after Add = false", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count() = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove = true")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+	// Removing an absent element is a no-op.
+	s.Remove(64)
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count() after double Remove = %d, want 7", got)
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(256) on capacity-256 set did not panic")
+		}
+	}()
+	New(256).Add(256)
+}
+
+func TestContainsOutOfRangeIsFalse(t *testing.T) {
+	s := Of(10, 3)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(100) {
+		t.Fatal("Contains out of range should be false, not panic")
+	}
+}
+
+func TestOf(t *testing.T) {
+	s := Of(16, 5, 6, 7, 8, 9, 10)
+	want := []int{5, 6, 7, 8, 9, 10}
+	if got := s.Indices(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Indices() = %v, want %v", got, want)
+	}
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	// ECB/PCB sets from the paper's Fig. 1 example.
+	ecb2 := Of(16, 1, 2, 3, 4, 5, 6)
+	pcb1 := Of(16, 5, 6, 7, 8, 10)
+
+	union := ecb2.Union(pcb1)
+	if got, want := union.Indices(), []int{1, 2, 3, 4, 5, 6, 7, 8, 10}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	inter := ecb2.Intersect(pcb1)
+	if got, want := inter.Indices(), []int{5, 6}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if got := pcb1.IntersectCount(ecb2); got != 2 {
+		t.Fatalf("IntersectCount = %d, want 2", got)
+	}
+	diff := pcb1.Difference(ecb2)
+	if got, want := diff.Indices(), []int{7, 8, 10}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Difference = %v, want %v", got, want)
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union across capacities did not panic")
+		}
+	}()
+	Of(16, 1).Union(Of(32, 1))
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := Of(64, 1, 2, 3)
+	b := Of(64, 1, 2, 3, 4)
+	if !a.SubsetOf(b) {
+		t.Fatal("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b ⊆ a unexpected")
+	}
+	if !a.SubsetOf(a) {
+		t.Fatal("a ⊆ a expected")
+	}
+	if a.Equal(b) {
+		t.Fatal("a == b unexpected")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("a == clone(a) expected")
+	}
+	if a.Equal(Of(32, 1, 2, 3)) {
+		t.Fatal("sets with different capacity must not be Equal")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Of(128, 100)
+	b := Of(128, 100, 101)
+	c := Of(128, 101)
+	if !a.Intersects(b) {
+		t.Fatal("a ∩ b expected non-empty")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a ∩ c expected empty")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Of(16, 1)
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(16, 5, 6, 7).String(); got != "{5,6,7}" {
+		t.Fatalf("String() = %q, want {5,6,7}", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String() = %q, want {}", got)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	u := UnionAll(16, Of(16, 1), Of(16, 2), Of(16, 1, 3))
+	if got, want := u.Indices(), []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("UnionAll = %v, want %v", got, want)
+	}
+	if got := UnionAll(8).Count(); got != 0 {
+		t.Fatalf("UnionAll() of nothing = %d elements, want 0", got)
+	}
+}
+
+func TestFromSorted(t *testing.T) {
+	s := FromSorted(16, []int{9, 3, 3, 1})
+	if got, want := s.Indices(), []int{1, 3, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("FromSorted = %v, want %v", got, want)
+	}
+}
+
+// randomSet builds a reproducible random set for property tests.
+func randomSet(r *rand.Rand, n int) Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// genTriple produces three random same-capacity sets for quick.Check
+// properties that need multiple operands.
+type triple struct{ a, b, c Set }
+
+func genTriple(r *rand.Rand) triple {
+	n := 1 + r.Intn(200)
+	return triple{randomSet(r, n), randomSet(r, n), randomSet(r, n)}
+}
+
+func TestQuickSetAlgebra(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(genTriple(r))
+		},
+	}
+
+	t.Run("union commutative", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			return tr.a.Union(tr.b).Equal(tr.b.Union(tr.a))
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("intersect commutative", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			return tr.a.Intersect(tr.b).Equal(tr.b.Intersect(tr.a))
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("union associative", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			return tr.a.Union(tr.b).Union(tr.c).Equal(tr.a.Union(tr.b.Union(tr.c)))
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("distributivity", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			lhs := tr.a.Intersect(tr.b.Union(tr.c))
+			rhs := tr.a.Intersect(tr.b).Union(tr.a.Intersect(tr.c))
+			return lhs.Equal(rhs)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("de morgan via difference", func(t *testing.T) {
+		// a \ (b ∪ c) == (a \ b) ∩ (a \ c)
+		if err := quick.Check(func(tr triple) bool {
+			lhs := tr.a.Difference(tr.b.Union(tr.c))
+			rhs := tr.a.Difference(tr.b).Intersect(tr.a.Difference(tr.c))
+			return lhs.Equal(rhs)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("inclusion-exclusion", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			return tr.a.Union(tr.b).Count() == tr.a.Count()+tr.b.Count()-tr.a.IntersectCount(tr.b)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("intersect count matches intersect", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			return tr.a.IntersectCount(tr.b) == tr.a.Intersect(tr.b).Count()
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("subset of union", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			u := tr.a.Union(tr.b)
+			return tr.a.SubsetOf(u) && tr.b.SubsetOf(u)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("intersection subset", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			i := tr.a.Intersect(tr.b)
+			return i.SubsetOf(tr.a) && i.SubsetOf(tr.b)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("indices roundtrip", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			return FromSorted(tr.a.Capacity(), tr.a.Indices()).Equal(tr.a)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}

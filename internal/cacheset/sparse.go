@@ -1,0 +1,179 @@
+package cacheset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sparse is an alternative cache-set representation holding a sorted
+// slice of indices. For the small footprints typical of individual
+// tasks (tens of sets out of a 1024-set cache), it is more compact
+// than the dense bitset and iterates faster; for union-heavy analysis
+// inner loops the dense Set wins. The analysis uses Set throughout;
+// Sparse exists for memory-conscious callers and doubles as an
+// independent oracle for the property tests of the dense
+// implementation.
+type Sparse struct {
+	n   int
+	idx []int // sorted, unique
+}
+
+// NewSparse returns an empty sparse set over [0, n).
+func NewSparse(n int) Sparse {
+	if n < 0 {
+		panic("cacheset: negative capacity")
+	}
+	return Sparse{n: n}
+}
+
+// SparseOf builds a sparse set from the given indices.
+func SparseOf(n int, idx ...int) Sparse {
+	s := NewSparse(n)
+	for _, i := range idx {
+		s = s.Add(i)
+	}
+	return s
+}
+
+// Capacity returns the index range bound.
+func (s Sparse) Capacity() int { return s.n }
+
+// Count returns the cardinality.
+func (s Sparse) Count() int { return len(s.idx) }
+
+// IsEmpty reports whether the set has no elements.
+func (s Sparse) IsEmpty() bool { return len(s.idx) == 0 }
+
+// Contains reports membership of i.
+func (s Sparse) Contains(i int) bool {
+	p := sort.SearchInts(s.idx, i)
+	return p < len(s.idx) && s.idx[p] == i
+}
+
+// Add returns a set additionally containing i (value semantics: the
+// receiver is not modified).
+func (s Sparse) Add(i int) Sparse {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("cacheset: index %d out of range [0,%d)", i, s.n))
+	}
+	p := sort.SearchInts(s.idx, i)
+	if p < len(s.idx) && s.idx[p] == i {
+		return s
+	}
+	out := make([]int, 0, len(s.idx)+1)
+	out = append(out, s.idx[:p]...)
+	out = append(out, i)
+	out = append(out, s.idx[p:]...)
+	return Sparse{n: s.n, idx: out}
+}
+
+// Remove returns a set without i.
+func (s Sparse) Remove(i int) Sparse {
+	p := sort.SearchInts(s.idx, i)
+	if p >= len(s.idx) || s.idx[p] != i {
+		return s
+	}
+	out := make([]int, 0, len(s.idx)-1)
+	out = append(out, s.idx[:p]...)
+	out = append(out, s.idx[p+1:]...)
+	return Sparse{n: s.n, idx: out}
+}
+
+func (s Sparse) check(t Sparse) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("cacheset: capacity mismatch %d != %d", s.n, t.n))
+	}
+}
+
+// Union returns s ∪ t via a sorted merge.
+func (s Sparse) Union(t Sparse) Sparse {
+	s.check(t)
+	out := make([]int, 0, len(s.idx)+len(t.idx))
+	i, j := 0, 0
+	for i < len(s.idx) && j < len(t.idx) {
+		switch {
+		case s.idx[i] < t.idx[j]:
+			out = append(out, s.idx[i])
+			i++
+		case s.idx[i] > t.idx[j]:
+			out = append(out, t.idx[j])
+			j++
+		default:
+			out = append(out, s.idx[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.idx[i:]...)
+	out = append(out, t.idx[j:]...)
+	return Sparse{n: s.n, idx: out}
+}
+
+// Intersect returns s ∩ t.
+func (s Sparse) Intersect(t Sparse) Sparse {
+	s.check(t)
+	var out []int
+	i, j := 0, 0
+	for i < len(s.idx) && j < len(t.idx) {
+		switch {
+		case s.idx[i] < t.idx[j]:
+			i++
+		case s.idx[i] > t.idx[j]:
+			j++
+		default:
+			out = append(out, s.idx[i])
+			i++
+			j++
+		}
+	}
+	return Sparse{n: s.n, idx: out}
+}
+
+// IntersectCount returns |s ∩ t| without allocating.
+func (s Sparse) IntersectCount(t Sparse) int {
+	s.check(t)
+	c := 0
+	i, j := 0, 0
+	for i < len(s.idx) && j < len(t.idx) {
+		switch {
+		case s.idx[i] < t.idx[j]:
+			i++
+		case s.idx[i] > t.idx[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// Indices returns the elements in increasing order (a copy).
+func (s Sparse) Indices() []int {
+	return append([]int(nil), s.idx...)
+}
+
+// Dense converts to the bitset representation.
+func (s Sparse) Dense() Set {
+	out := New(s.n)
+	for _, i := range s.idx {
+		out.Add(i)
+	}
+	return out
+}
+
+// ToSparse converts a dense set to the sparse representation.
+func ToSparse(d Set) Sparse {
+	return Sparse{n: d.Capacity(), idx: d.Indices()}
+}
+
+// String renders as {i1,i2,...}.
+func (s Sparse) String() string {
+	parts := make([]string, len(s.idx))
+	for i, v := range s.idx {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,159 @@
+package cacheset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseBasics(t *testing.T) {
+	s := SparseOf(16, 5, 3, 5, 9)
+	if got, want := s.Indices(), []int{3, 5, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	if s.Count() != 3 || s.IsEmpty() || s.Capacity() != 16 {
+		t.Fatalf("basics wrong: %v", s)
+	}
+	if !s.Contains(5) || s.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	s2 := s.Remove(5)
+	if s2.Contains(5) || !s.Contains(5) {
+		t.Fatal("Remove must be value-semantic")
+	}
+	if s.Remove(4).Count() != 3 {
+		t.Fatal("removing absent element changed the set")
+	}
+	if got := s.String(); got != "{3,5,9}" {
+		t.Fatalf("String = %q", got)
+	}
+	if NewSparse(4).String() != "{}" {
+		t.Fatal("empty String wrong")
+	}
+}
+
+func TestSparsePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"add oob":       func() { SparseOf(4, 1).Add(4) },
+		"neg capacity":  func() { NewSparse(-1) },
+		"capacity mism": func() { SparseOf(4, 1).Union(SparseOf(8, 1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestSparseDenseRoundtrip(t *testing.T) {
+	d := Of(32, 1, 7, 30)
+	s := ToSparse(d)
+	if !s.Dense().Equal(d) {
+		t.Fatal("roundtrip lost elements")
+	}
+}
+
+// TestSparseMatchesDense uses the dense implementation as the oracle
+// for the sparse one (and vice versa) on random inputs.
+func TestSparseMatchesDense(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(150)
+			mk := func() []int {
+				var idx []int
+				for i := 0; i < n; i++ {
+					if r.Intn(3) == 0 {
+						idx = append(idx, i)
+					}
+				}
+				return idx
+			}
+			v[0] = reflect.ValueOf(n)
+			v[1] = reflect.ValueOf(mk())
+			v[2] = reflect.ValueOf(mk())
+		},
+	}
+	f := func(n int, a, b []int) bool {
+		da, db := FromSorted(n, a), FromSorted(n, b)
+		sa, sb := SparseOf(n, a...), SparseOf(n, b...)
+
+		di, si := da.Indices(), sa.Indices()
+		if len(di) != len(si) {
+			return false
+		}
+		for i := range di {
+			if di[i] != si[i] {
+				return false
+			}
+		}
+		if !sa.Union(sb).Dense().Equal(da.Union(db)) {
+			return false
+		}
+		if !sa.Intersect(sb).Dense().Equal(da.Intersect(db)) {
+			return false
+		}
+		if sa.IntersectCount(sb) != da.IntersectCount(db) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if sa.Contains(i) != da.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- micro-benchmarks: dense vs sparse ---------------------------------------
+
+func benchSets(nsets, footprint int) (Set, Set, Sparse, Sparse) {
+	r := rand.New(rand.NewSource(1))
+	var ai, bi []int
+	for i := 0; i < footprint; i++ {
+		ai = append(ai, r.Intn(nsets))
+		bi = append(bi, r.Intn(nsets))
+	}
+	return FromSorted(nsets, ai), FromSorted(nsets, bi),
+		SparseOf(nsets, ai...), SparseOf(nsets, bi...)
+}
+
+func BenchmarkDenseIntersectCount(b *testing.B) {
+	da, db, _, _ := benchSets(1024, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = da.IntersectCount(db)
+	}
+}
+
+func BenchmarkSparseIntersectCount(b *testing.B) {
+	_, _, sa, sb := benchSets(1024, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sa.IntersectCount(sb)
+	}
+}
+
+func BenchmarkDenseUnion(b *testing.B) {
+	da, db, _, _ := benchSets(1024, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = da.Union(db)
+	}
+}
+
+func BenchmarkSparseUnion(b *testing.B) {
+	_, _, sa, sb := benchSets(1024, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sa.Union(sb)
+	}
+}

@@ -1,0 +1,164 @@
+// Package cachesim provides an exact functional simulation of one
+// core-private set-associative LRU instruction cache. The paper's
+// model is the direct-mapped special case (associativity 1); higher
+// associativities support the extension studies. It is the executable
+// counterpart of the abstract analysis in package staticwcet and the
+// cache component of the multicore simulator in package sim.
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/cacheset"
+	"repro/internal/taskmodel"
+)
+
+// Invalid marks an empty cache way.
+const Invalid = -1
+
+// Cache is a set-associative LRU cache. Each set holds up to Ways()
+// blocks ordered most-recently-used first.
+type Cache struct {
+	cfg  taskmodel.CacheConfig
+	ways int
+	// sets[s] lists resident blocks of set s, MRU first.
+	sets [][]int
+}
+
+// New returns an empty (cold) cache with the given geometry.
+func New(cfg taskmodel.CacheConfig) *Cache {
+	if cfg.NumSets < 1 {
+		panic(fmt.Sprintf("cachesim: NumSets = %d, need >= 1", cfg.NumSets))
+	}
+	c := &Cache{cfg: cfg, ways: cfg.Ways(), sets: make([][]int, cfg.NumSets)}
+	for i := range c.sets {
+		c.sets[i] = make([]int, 0, c.ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() taskmodel.CacheConfig { return c.cfg }
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}
+
+// find returns the way index of block in set s, or -1.
+func (c *Cache) find(s, block int) int {
+	for i, b := range c.sets[s] {
+		if b == block {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch moves the block at way i of set s to the MRU position.
+func (c *Cache) touch(s, i int) {
+	set := c.sets[s]
+	b := set[i]
+	copy(set[1:i+1], set[:i])
+	set[0] = b
+}
+
+// insert places block at the MRU position of set s, evicting the LRU
+// block if the set is full.
+func (c *Cache) insert(s, block int) {
+	set := c.sets[s]
+	if len(set) < c.ways {
+		set = append(set, Invalid)
+	}
+	copy(set[1:], set)
+	set[0] = block
+	c.sets[s] = set
+}
+
+// Access fetches a memory block and reports whether it hit. On a miss
+// the block is installed at the MRU position, evicting the LRU
+// occupant of a full set; on a hit the block becomes MRU.
+func (c *Cache) Access(block int) (hit bool) {
+	if block < 0 {
+		panic(fmt.Sprintf("cachesim: negative block %d", block))
+	}
+	s := c.cfg.SetOf(block)
+	if i := c.find(s, block); i >= 0 {
+		c.touch(s, i)
+		return true
+	}
+	c.insert(s, block)
+	return false
+}
+
+// Lookup reports whether the block is resident without changing LRU
+// state.
+func (c *Cache) Lookup(block int) bool {
+	if block < 0 {
+		return false
+	}
+	return c.find(c.cfg.SetOf(block), block) >= 0
+}
+
+// Install loads a block (as MRU) without counting an access; used to
+// preload PCBs when measuring residual demand. Installing a resident
+// block only refreshes its LRU position.
+func (c *Cache) Install(block int) {
+	if block < 0 {
+		panic(fmt.Sprintf("cachesim: negative block %d", block))
+	}
+	s := c.cfg.SetOf(block)
+	if i := c.find(s, block); i >= 0 {
+		c.touch(s, i)
+		return
+	}
+	c.insert(s, block)
+}
+
+// EvictSet invalidates every way of the given cache set; used to model
+// evictions by other tasks expressed as cache-set footprints (the
+// analysis conservatively assumes a touched set loses all its
+// content).
+func (c *Cache) EvictSet(set int) {
+	if set < 0 || set >= c.cfg.NumSets {
+		panic(fmt.Sprintf("cachesim: set %d out of range [0,%d)", set, c.cfg.NumSets))
+	}
+	c.sets[set] = c.sets[set][:0]
+}
+
+// EvictAll invalidates every set in the given footprint, modelling the
+// worst-case effect of another task's ECBs.
+func (c *Cache) EvictAll(ecbs cacheset.Set) {
+	for _, s := range ecbs.Indices() {
+		c.EvictSet(s)
+	}
+}
+
+// ResidentSets returns the cache sets currently holding at least one
+// valid block.
+func (c *Cache) ResidentSets() cacheset.Set {
+	out := cacheset.New(c.cfg.NumSets)
+	for s, set := range c.sets {
+		if len(set) > 0 {
+			out.Add(s)
+		}
+	}
+	return out
+}
+
+// Snapshot returns, per set, the resident blocks in MRU-first order.
+func (c *Cache) Snapshot() [][]int {
+	out := make([][]int, len(c.sets))
+	for i, set := range c.sets {
+		out[i] = append([]int(nil), set...)
+	}
+	return out
+}
+
+// Clone returns an independent copy of the cache state.
+func (c *Cache) Clone() *Cache {
+	d := &Cache{cfg: c.cfg, ways: c.ways, sets: c.Snapshot()}
+	return d
+}

@@ -1,0 +1,245 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/cacheset"
+	"repro/internal/taskmodel"
+)
+
+func cfg4() taskmodel.CacheConfig {
+	return taskmodel.CacheConfig{NumSets: 4, BlockSizeBytes: 32}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(cfg4())
+	if c.Access(5) {
+		t.Fatal("first access to block 5 hit a cold cache")
+	}
+	if !c.Access(5) {
+		t.Fatal("second access to block 5 missed")
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	c := New(cfg4())
+	c.Access(1) // set 1
+	c.Access(5) // set 1 as well (5 mod 4), evicts block 1
+	if c.Lookup(1) {
+		t.Fatal("block 1 still resident after conflicting fetch of block 5")
+	}
+	if !c.Lookup(5) {
+		t.Fatal("block 5 not resident after fetch")
+	}
+	if c.Access(1) {
+		t.Fatal("block 1 hit after being evicted")
+	}
+}
+
+func TestNonConflictingCoexist(t *testing.T) {
+	c := New(cfg4())
+	c.Access(0)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3)
+	for b := 0; b < 4; b++ {
+		if !c.Lookup(b) {
+			t.Fatalf("block %d evicted despite distinct sets", b)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(cfg4())
+	c.Access(2)
+	c.Flush()
+	if c.Lookup(2) {
+		t.Fatal("block resident after Flush")
+	}
+	if got := c.ResidentSets().Count(); got != 0 {
+		t.Fatalf("ResidentSets after Flush = %d entries, want 0", got)
+	}
+}
+
+func TestInstallDoesNotMissLater(t *testing.T) {
+	c := New(cfg4())
+	c.Install(7)
+	if !c.Access(7) {
+		t.Fatal("block 7 missed after Install")
+	}
+}
+
+func TestEvictSetAndEvictAll(t *testing.T) {
+	c := New(cfg4())
+	c.Access(0)
+	c.Access(1)
+	c.Access(2)
+	c.EvictSet(1)
+	if c.Lookup(1) {
+		t.Fatal("block 1 resident after EvictSet(1)")
+	}
+	c.EvictAll(cacheset.Of(4, 0, 2))
+	if c.Lookup(0) || c.Lookup(2) {
+		t.Fatal("blocks resident after EvictAll")
+	}
+}
+
+func TestResidentSetsAndSnapshot(t *testing.T) {
+	c := New(cfg4())
+	c.Access(0)
+	c.Access(6) // set 2
+	rs := c.ResidentSets()
+	if !rs.Equal(cacheset.Of(4, 0, 2)) {
+		t.Fatalf("ResidentSets = %v, want {0,2}", rs)
+	}
+	snap := c.Snapshot()
+	if len(snap[0]) != 1 || snap[0][0] != 0 || len(snap[2]) != 1 || snap[2][0] != 6 ||
+		len(snap[1]) != 0 || len(snap[3]) != 0 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	// Snapshot is a copy.
+	snap[0][0] = 99
+	if !c.Lookup(0) {
+		t.Fatal("mutating snapshot affected cache")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := New(cfg4())
+	c.Access(0)
+	d := c.Clone()
+	d.Access(4) // evicts block 0 in the clone only
+	if !c.Lookup(0) {
+		t.Fatal("clone access affected original")
+	}
+	if d.Lookup(0) {
+		t.Fatal("clone did not evict block 0")
+	}
+}
+
+func TestLookupNegative(t *testing.T) {
+	c := New(cfg4())
+	if c.Lookup(-3) {
+		t.Fatal("Lookup(-3) = true")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	c := New(cfg4())
+	for name, f := range map[string]func(){
+		"access negative":  func() { c.Access(-1) },
+		"install negative": func() { c.Install(-1) },
+		"evict oob":        func() { c.EvictSet(4) },
+		"new bad geometry": func() { New(taskmodel.CacheConfig{NumSets: 0}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+// --- set-associative LRU behaviour ------------------------------------------
+
+func cfgAssoc(sets, ways int) taskmodel.CacheConfig {
+	return taskmodel.CacheConfig{NumSets: sets, BlockSizeBytes: 32, Associativity: ways}
+}
+
+func TestTwoWayCoexistence(t *testing.T) {
+	// Blocks 1 and 5 share set 1 in a 4-set cache; with two ways they
+	// coexist instead of thrashing.
+	c := New(cfgAssoc(4, 2))
+	c.Access(1)
+	c.Access(5)
+	if !c.Lookup(1) || !c.Lookup(5) {
+		t.Fatal("conflicting blocks must coexist in a 2-way set")
+	}
+	if !c.Access(1) || !c.Access(5) {
+		t.Fatal("both blocks must hit on re-access")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// 2-way set 0 of a 4-set cache: access 0, 4, 8 — block 0 is LRU
+	// when 8 arrives and must be the one evicted.
+	c := New(cfgAssoc(4, 2))
+	c.Access(0)
+	c.Access(4)
+	c.Access(8)
+	if c.Lookup(0) {
+		t.Fatal("LRU block 0 should have been evicted")
+	}
+	if !c.Lookup(4) || !c.Lookup(8) {
+		t.Fatal("blocks 4 and 8 should be resident")
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	// Re-accessing block 0 makes it MRU, so block 4 gets evicted by 8.
+	c := New(cfgAssoc(4, 2))
+	c.Access(0)
+	c.Access(4)
+	c.Access(0) // 0 becomes MRU
+	c.Access(8) // evicts 4
+	if c.Lookup(4) {
+		t.Fatal("block 4 should have been evicted")
+	}
+	if !c.Lookup(0) || !c.Lookup(8) {
+		t.Fatal("blocks 0 and 8 should be resident")
+	}
+}
+
+func TestInstallRefreshesLRU(t *testing.T) {
+	c := New(cfgAssoc(4, 2))
+	c.Access(0)
+	c.Access(4)
+	c.Install(0) // refresh 0 without counting an access
+	c.Access(8)  // evicts 4, not 0
+	if c.Lookup(4) || !c.Lookup(0) {
+		t.Fatal("Install must refresh LRU position")
+	}
+}
+
+func TestFourWaySetHoldsFourBlocks(t *testing.T) {
+	c := New(cfgAssoc(2, 4))
+	for _, b := range []int{0, 2, 4, 6} { // all map to set 0
+		c.Access(b)
+	}
+	for _, b := range []int{0, 2, 4, 6} {
+		if !c.Lookup(b) {
+			t.Fatalf("block %d evicted from a 4-way set holding 4 blocks", b)
+		}
+	}
+	c.Access(8) // fifth block evicts LRU (block 0)
+	if c.Lookup(0) {
+		t.Fatal("block 0 should be evicted as LRU")
+	}
+}
+
+func TestWaysDefault(t *testing.T) {
+	c := New(taskmodel.CacheConfig{NumSets: 4, BlockSizeBytes: 32})
+	if got := c.Config().Ways(); got != 1 {
+		t.Fatalf("Ways() = %d, want 1 (direct-mapped default)", got)
+	}
+	// Direct-mapped semantics preserved: second conflicting block
+	// evicts the first.
+	c.Access(0)
+	c.Access(4)
+	if c.Lookup(0) {
+		t.Fatal("direct-mapped conflict must evict")
+	}
+}
+
+func TestEvictSetClearsAllWays(t *testing.T) {
+	c := New(cfgAssoc(4, 2))
+	c.Access(1)
+	c.Access(5)
+	c.EvictSet(1)
+	if c.Lookup(1) || c.Lookup(5) {
+		t.Fatal("EvictSet must clear every way")
+	}
+}

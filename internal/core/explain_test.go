@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+func TestExplainFig1Tau2(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	ex, err := Explain(ts, Config{Arbiter: RR, Persistence: true}, 1)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if ex.Task != "tau2" || ex.Core != 0 || ex.Priority != 1 {
+		t.Fatalf("identity = %+v", ex)
+	}
+	if !ex.Schedulable {
+		t.Fatal("τ2 should be schedulable in the Fig. 1 setup")
+	}
+	if ex.OwnMD != 8 || ex.PD != 32 {
+		t.Errorf("own demand = PD %d / MD %d, want 32/8", ex.PD, ex.OwnMD)
+	}
+	if len(ex.SameCore) != 1 || ex.SameCore[0].Task != "tau1" {
+		t.Fatalf("SameCore = %+v, want one τ1 term", ex.SameCore)
+	}
+	sc := ex.SameCore[0]
+	if sc.AwareDemand > sc.PlainDemand {
+		t.Errorf("aware demand %d exceeds plain %d", sc.AwareDemand, sc.PlainDemand)
+	}
+	if sc.CRPD != sc.Jobs*2 {
+		t.Errorf("CRPD = %d, want jobs×γ = %d×2", sc.CRPD, sc.Jobs)
+	}
+	// Consistency: BAS = MD_i + Σ aware + Σ CRPD.
+	want := ex.OwnMD + sc.AwareDemand + sc.CRPD
+	if ex.BAS != want {
+		t.Errorf("BAS = %d, want %d (decomposition must add up)", ex.BAS, want)
+	}
+	// One remote core with a clamped-or-not term.
+	if len(ex.Remote) != 1 || ex.Remote[0].Core != 1 {
+		t.Fatalf("Remote = %+v", ex.Remote)
+	}
+	// BAT consistency for RR: BAS + Σ remote + blocking.
+	total := ex.BAS + ex.Blocking
+	for _, rc := range ex.Remote {
+		total += rc.Accesses
+	}
+	if ex.BAT != total {
+		t.Errorf("BAT = %d, decomposition sums to %d", ex.BAT, total)
+	}
+	if ex.BusTime != taskTime(ex.BAT)*ts.Platform.DMem {
+		t.Errorf("BusTime = %d, want BAT×d_mem", ex.BusTime)
+	}
+}
+
+func taskTime(v int64) int64 { return v }
+
+func TestExplainDecompositionAllArbiters(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	for _, arb := range []Arbiter{FP, RR, Perfect} {
+		for _, p := range []bool{false, true} {
+			ex, err := Explain(ts, Config{Arbiter: arb, Persistence: p}, 1)
+			if err != nil {
+				t.Fatalf("%v: %v", arb, err)
+			}
+			total := ex.BAS + ex.Blocking
+			for _, rc := range ex.Remote {
+				total += rc.Accesses
+			}
+			if ex.BAT != total {
+				t.Errorf("%v persistence=%v: BAT %d != decomposition %d", arb, p, ex.BAT, total)
+			}
+		}
+	}
+	// TDMA's slot waiting is folded into BAT, not the remote terms.
+	ex, err := Explain(ts, Config{Arbiter: TDMA}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Remote) != 0 {
+		t.Errorf("TDMA remote terms = %+v, want none", ex.Remote)
+	}
+	if ex.BAT < ex.BAS {
+		t.Errorf("TDMA BAT %d below BAS %d", ex.BAT, ex.BAS)
+	}
+}
+
+func TestExplainUnknownPriority(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	if _, err := Explain(ts, Config{Arbiter: RR}, 42); err == nil {
+		t.Fatal("unknown priority accepted")
+	}
+}
+
+func TestExplainRender(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	ex, err := Explain(ts, Config{Arbiter: RR, Persistence: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := ex.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"task tau2", "same-core bus demand", "tau1", "remote core 1", "BAT total accesses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainPersistenceReducesAwareDemand(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	base, err := Explain(ts, Config{Arbiter: RR}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := Explain(ts, Config{Arbiter: RR, Persistence: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.SameCore[0].AwareDemand >= base.SameCore[0].AwareDemand {
+		t.Errorf("persistence did not reduce τ1's demand: %d vs %d",
+			aware.SameCore[0].AwareDemand, base.SameCore[0].AwareDemand)
+	}
+	if aware.BAT >= base.BAT {
+		t.Errorf("persistence did not reduce BAT: %d vs %d", aware.BAT, base.BAT)
+	}
+}

@@ -1,0 +1,190 @@
+package crpd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cacheset"
+	"repro/internal/fixtures"
+	"repro/internal/taskmodel"
+)
+
+func TestFig1GammaECBUnion(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	// γ_{2,1,x}: task under analysis τ2 (priority 1), preempting task τ1
+	// (priority 0), core π_x (0). The paper computes 2 (blocks {5,6}).
+	if got := Gamma(ts, ECBUnion, 1, 0, 0); got != 2 {
+		t.Errorf("γ_{2,1,x} = %d, want 2", got)
+	}
+}
+
+func TestGammaZeroWhenNotHigherPriority(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	for _, ap := range []Approach{ECBUnion, UCBOnly, ECBOnly, UCBUnion, Combined} {
+		if got := Gamma(ts, ap, 0, 1, 0); got != 0 {
+			t.Errorf("%v: Gamma(i=0, j=1) = %d, want 0 (j not higher priority)", ap, got)
+		}
+		if got := Gamma(ts, ap, 1, 1, 0); got != 0 {
+			t.Errorf("%v: Gamma(i=1, j=1) = %d, want 0", ap, got)
+		}
+	}
+}
+
+func TestGammaVariantsOnFig1(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	// aff(1,0) ∩ Γ0 = {τ2}; UCB2 = {5,6}; ECB1 = {5..10}.
+	if got := Gamma(ts, UCBOnly, 1, 0, 0); got != 2 {
+		t.Errorf("UCB-only = %d, want |UCB2| = 2", got)
+	}
+	if got := Gamma(ts, ECBOnly, 1, 0, 0); got != 6 {
+		t.Errorf("ECB-only = %d, want |ECB1| = 6", got)
+	}
+	if got := Gamma(ts, UCBUnion, 1, 0, 0); got != 2 {
+		t.Errorf("UCB-union = %d, want 2", got)
+	}
+	if got := Gamma(ts, Combined, 1, 0, 0); got != 2 {
+		t.Errorf("Combined = %d, want 2", got)
+	}
+}
+
+func TestGammaRemoteCoreLevel(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	// γ_{2,3,y} style queries: on core 1 there is only τ3, so no task
+	// can be preempted there and every bound is zero. Use level i=2
+	// (τ3's own priority) with a fictitious higher-priority preemptor.
+	if got := Gamma(ts, ECBUnion, 2, 0, 1); got != 0 {
+		t.Errorf("Gamma on single-task core = %d, want 0", got)
+	}
+}
+
+// buildRandomTaskSet makes a small synthetic task set with random
+// footprints for the ordering property tests.
+func buildRandomTaskSet(rng *rand.Rand, ntasks, nsets int) *taskmodel.TaskSet {
+	plat := taskmodel.Platform{
+		NumCores: 2,
+		Cache:    taskmodel.CacheConfig{NumSets: nsets, BlockSizeBytes: 32},
+		DMem:     5,
+		SlotSize: 2,
+	}
+	tasks := make([]*taskmodel.Task, ntasks)
+	for i := range tasks {
+		ecb := cacheset.New(nsets)
+		ucb := cacheset.New(nsets)
+		pcb := cacheset.New(nsets)
+		for s := 0; s < nsets; s++ {
+			if rng.Intn(3) == 0 {
+				ecb.Add(s)
+				if rng.Intn(2) == 0 {
+					ucb.Add(s)
+				}
+				if rng.Intn(2) == 0 {
+					pcb.Add(s)
+				}
+			}
+		}
+		md := int64(1 + ecb.Count())
+		tasks[i] = &taskmodel.Task{
+			Name: "t", Core: i % 2, Priority: i,
+			PD: int64(10 + rng.Intn(50)), MD: md, MDr: md - int64(pcb.Count()),
+			Period: 1000, Deadline: 1000,
+			ECB: ecb, UCB: ucb, PCB: pcb,
+		}
+		if tasks[i].MDr < 0 {
+			tasks[i].MDr = 0
+		}
+	}
+	return taskmodel.NewTaskSet(plat, tasks)
+}
+
+func TestGammaBoundsOrdering(t *testing.T) {
+	// For every random task set and (i, j) pair: the union approaches
+	// are never larger than their simple counterparts, and Combined is
+	// the min of the two unions.
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ts := buildRandomTaskSet(rng, 6, 16)
+		for core := 0; core < 2; core++ {
+			for i := 0; i < 6; i++ {
+				for j := 0; j < i; j++ {
+					eu := Gamma(ts, ECBUnion, i, j, core)
+					uo := Gamma(ts, UCBOnly, i, j, core)
+					uu := Gamma(ts, UCBUnion, i, j, core)
+					cb := Gamma(ts, Combined, i, j, core)
+					if eu > uo {
+						t.Fatalf("seed %d (i=%d j=%d core=%d): ECB-union %d > UCB-only %d", seed, i, j, core, eu, uo)
+					}
+					if want := min64(eu, uu); cb != want {
+						t.Fatalf("seed %d: Combined = %d, want min(%d,%d)", seed, cb, eu, uu)
+					}
+					if eu < 0 || uu < 0 || uo < 0 {
+						t.Fatalf("seed %d: negative gamma", seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGammaMonotoneInLevel(t *testing.T) {
+	// Widening the affected-task window (larger i) can only increase
+	// the ECB-union bound for a fixed preemptor j.
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ts := buildRandomTaskSet(rng, 6, 16)
+		for core := 0; core < 2; core++ {
+			for j := 0; j < 5; j++ {
+				prev := int64(0)
+				for i := j + 1; i < 6; i++ {
+					g := Gamma(ts, ECBUnion, i, j, core)
+					if g < prev {
+						t.Fatalf("seed %d: Gamma(i=%d,j=%d) = %d < Gamma(i=%d) = %d", seed, i, j, g, i-1, prev)
+					}
+					prev = g
+				}
+			}
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestApproachStrings(t *testing.T) {
+	for ap, want := range map[Approach]string{
+		ECBUnion: "ecb-union", UCBOnly: "ucb-only", ECBOnly: "ecb-only",
+		UCBUnion: "ucb-union", Combined: "combined", Approach(9): "Approach(9)",
+	} {
+		if got := ap.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(ap), got, want)
+		}
+	}
+}
+
+func TestGammaUnknownApproachPanics(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown approach did not panic")
+		}
+	}()
+	Gamma(ts, Approach(42), 1, 0, 0)
+}
+
+func TestGammaUnknownPreemptorPriority(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	// Priority value 0 exists but query a level window with a preemptor
+	// priority that maps to no task: the simple bounds degrade to zero.
+	if got := Gamma(ts, ECBOnly, 5, 4, 0); got != 0 {
+		t.Errorf("ECB-only with unknown preemptor = %d, want 0", got)
+	}
+	if got := Gamma(ts, UCBUnion, 5, 4, 0); got != 0 {
+		t.Errorf("UCB-union with unknown preemptor = %d, want 0", got)
+	}
+	if got := Gamma(ts, Combined, 5, 4, 0); got != 0 {
+		t.Errorf("Combined with unknown preemptor = %d, want 0", got)
+	}
+}

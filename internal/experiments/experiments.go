@@ -1,0 +1,262 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section V):
+//
+//	Table I  — benchmark parameters extracted by the static analysis
+//	Fig. 2a-c — schedulable task sets vs. per-core utilization for the
+//	            FP, RR and TDMA buses, with and without persistence,
+//	            plus the perfect-bus reference
+//	Fig. 3a-d — weighted schedulability vs. number of cores, memory
+//	            reload time d_mem, cache size, and RR/TDMA slot size
+//
+// Each study returns a chart-ready Study that can be rendered as ASCII
+// art or CSV. Absolute counts depend on the number of random task sets
+// per data point (1000 in the paper; configurable here) — the
+// reproduction target is the shape: persistence-aware curves dominate,
+// FP > RR > TDMA, and the trends across each swept parameter.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/taskgen"
+	"repro/internal/taskmodel"
+	"repro/internal/textplot"
+)
+
+// Variant names one analysis configuration plotted as a series.
+type Variant struct {
+	Name        string
+	Arbiter     core.Arbiter
+	Persistence bool
+}
+
+// PaperVariants returns the six analyses the paper compares.
+func PaperVariants() []Variant {
+	return []Variant{
+		{"FP", core.FP, false},
+		{"FP-CP", core.FP, true},
+		{"RR", core.RR, false},
+		{"RR-CP", core.RR, true},
+		{"TDMA", core.TDMA, false},
+		{"TDMA-CP", core.TDMA, true},
+	}
+}
+
+// Options tunes a study run.
+type Options struct {
+	// TaskSetsPerPoint is the number of random task sets per data point
+	// (the paper uses 1000). Default 50.
+	TaskSetsPerPoint int
+	// Seed is the base RNG seed; every (point, index) pair derives a
+	// unique deterministic seed from it.
+	Seed int64
+	// Workers bounds analysis parallelism. Default GOMAXPROCS.
+	Workers int
+	// Utilizations are the per-core utilization steps of the sweep.
+	// Default 0.05..1.00 in steps of 0.05 (the paper's grid).
+	Utilizations []float64
+	// Base is the generation configuration studies start from.
+	// Default taskgen.DefaultConfig().
+	Base taskgen.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.TaskSetsPerPoint <= 0 {
+		o.TaskSetsPerPoint = 50
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(o.Utilizations) == 0 {
+		for u := 0.05; u <= 1.0001; u += 0.05 {
+			o.Utilizations = append(o.Utilizations, u)
+		}
+	}
+	if o.Base.TasksPerCore == 0 {
+		o.Base = taskgen.DefaultConfig()
+	}
+	return o
+}
+
+// Study is the chart-ready outcome of one experiment.
+type Study struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Series []textplot.Series
+	// Intervals optionally carries 95% Wilson confidence bounds per
+	// series (same indexing as Series[i].Values); emitted by WriteCSV
+	// as <name>-lo95 / <name>-hi95 columns.
+	Intervals map[string][2][]float64
+	// TaskSetsPerPoint records the sample size the study ran with.
+	TaskSetsPerPoint int
+}
+
+// WriteCSV emits the study data, including confidence-interval columns
+// when present.
+func (s *Study) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, ser := range s.Series {
+		b.WriteString("," + ser.Name)
+		if _, ok := s.Intervals[ser.Name]; ok {
+			b.WriteString("," + ser.Name + "-lo95," + ser.Name + "-hi95")
+		}
+	}
+	b.WriteByte('\n')
+	for i, x := range s.Xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, ser := range s.Series {
+			fmt.Fprintf(&b, ",%g", ser.Values[i])
+			if ci, ok := s.Intervals[ser.Name]; ok {
+				fmt.Fprintf(&b, ",%g,%g", ci[0][i], ci[1][i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Chart wraps the study for rendering.
+func (s *Study) Chart() *textplot.Chart {
+	return &textplot.Chart{
+		Title:  fmt.Sprintf("%s — %s", s.ID, s.Title),
+		XLabel: s.XLabel,
+		YLabel: s.YLabel,
+		Xs:     s.Xs,
+		Series: s.Series,
+		YMin:   0,
+		YMax:   1,
+	}
+}
+
+// verdicts analyses one task set under every variant.
+func verdicts(ts *taskmodel.TaskSet, variants []Variant) (map[string]bool, error) {
+	out := make(map[string]bool, len(variants))
+	for _, v := range variants {
+		res, err := core.Analyze(ts, core.Config{Arbiter: v.Arbiter, Persistence: v.Persistence})
+		if err != nil {
+			return nil, err
+		}
+		out[v.Name] = res.Schedulable
+	}
+	return out, nil
+}
+
+// pointJob is one (x-point, utilization, sample-index) work item of a
+// sweep.
+type pointJob struct {
+	pointIdx int
+	util     float64
+	sample   int
+}
+
+// sample is the outcome of one analysed task set.
+type sample struct {
+	pointIdx int
+	util     float64 // actual average per-core utilization
+	verdict  map[string]bool
+	err      error
+}
+
+// sweep generates and analyses TaskSetsPerPoint task sets for every
+// (point, utilization) combination. configAt returns the generation
+// config and benchmark pool for a point index; utilsFor returns the
+// utilizations swept at that point.
+func sweep(opts Options, numPoints int,
+	configAt func(point int) (taskgen.Config, []taskgen.TaskParams, error),
+	utilsFor func(point int) []float64,
+	variants []Variant,
+) ([][]sample, error) {
+	opts = opts.withDefaults()
+
+	cfgs := make([]taskgen.Config, numPoints)
+	pools := make([][]taskgen.TaskParams, numPoints)
+	var jobs []pointJob
+	for p := 0; p < numPoints; p++ {
+		cfg, pool, err := configAt(p)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[p], pools[p] = cfg, pool
+		for _, u := range utilsFor(p) {
+			for s := 0; s < opts.TaskSetsPerPoint; s++ {
+				jobs = append(jobs, pointJob{pointIdx: p, util: u, sample: s})
+			}
+		}
+	}
+
+	results := make([]sample, len(jobs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range work {
+				j := jobs[ji]
+				cfg := cfgs[j.pointIdx]
+				cfg.CoreUtilization = j.util
+				// The seed deliberately excludes the point index: every
+				// swept parameter value sees the same random task sets
+				// (paired samples), so series differ only through the
+				// analysis, not the sample.
+				seed := opts.Seed + int64(j.sample)*7919 + int64(j.util*1e6)
+				ts, err := taskgen.Generate(cfg, pools[j.pointIdx], rand.New(rand.NewSource(seed)))
+				if err != nil {
+					results[ji] = sample{err: err}
+					continue
+				}
+				v, err := verdicts(ts, variants)
+				results[ji] = sample{
+					pointIdx: j.pointIdx,
+					util:     ts.TotalUtilization() / float64(cfg.Platform.NumCores),
+					verdict:  v,
+					err:      err,
+				}
+			}
+		}()
+	}
+	for ji := range jobs {
+		work <- ji
+	}
+	close(work)
+	wg.Wait()
+
+	perPoint := make([][]sample, numPoints)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		perPoint[r.pointIdx] = append(perPoint[r.pointIdx], r)
+	}
+	return perPoint, nil
+}
+
+// weightedSeries reduces sweep samples to one weighted-schedulability
+// value per point and variant.
+func weightedSeries(perPoint [][]sample, variants []Variant) []textplot.Series {
+	series := make([]textplot.Series, len(variants))
+	for vi, v := range variants {
+		vals := make([]float64, len(perPoint))
+		for p, samples := range perPoint {
+			obs := make([]stats.Observation, 0, len(samples))
+			for _, s := range samples {
+				obs = append(obs, stats.Observation{Utilization: s.util, Schedulable: s.verdict[v.Name]})
+			}
+			vals[p] = stats.WeightedSchedulability(obs)
+		}
+		series[vi] = textplot.Series{Name: v.Name, Values: vals}
+	}
+	return series
+}

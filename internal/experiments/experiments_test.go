@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/taskgen"
+	"repro/internal/taskmodel"
+)
+
+// smallOpts keeps test runtimes low: few samples, coarse grids, small
+// platforms.
+func smallOpts() Options {
+	base := taskgen.DefaultConfig()
+	base.Platform.NumCores = 2
+	base.TasksPerCore = 4
+	return Options{
+		TaskSetsPerPoint: 5,
+		Seed:             1,
+		Utilizations:     []float64{0.2, 0.5, 0.8},
+		Base:             base,
+	}
+}
+
+func seriesByName(s *Study) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, ser := range s.Series {
+		out[ser.Name] = ser.Values
+	}
+	return out
+}
+
+func TestFig2Shape(t *testing.T) {
+	st, err := Fig2(core.FP, smallOpts())
+	if err != nil {
+		t.Fatalf("Fig2: %v", err)
+	}
+	if st.ID != "Fig2a" {
+		t.Errorf("ID = %q, want Fig2a", st.ID)
+	}
+	if len(st.Xs) != 3 || len(st.Series) != 3 {
+		t.Fatalf("xs/series = %d/%d, want 3/3", len(st.Xs), len(st.Series))
+	}
+	by := seriesByName(st)
+	base, cp, perfect := by["FP"], by["FP-CP"], by["Perfect"]
+	for i := range st.Xs {
+		for _, v := range [][]float64{base, cp, perfect} {
+			if v[i] < 0 || v[i] > 1 {
+				t.Errorf("x=%g: ratio %g out of [0,1]", st.Xs[i], v[i])
+			}
+		}
+		if cp[i] < base[i] {
+			t.Errorf("x=%g: FP-CP %g below FP %g (domination violated)", st.Xs[i], cp[i], base[i])
+		}
+		if perfect[i] < cp[i] {
+			t.Errorf("x=%g: Perfect %g below FP-CP %g", st.Xs[i], perfect[i], cp[i])
+		}
+	}
+	// Schedulability must not increase with utilization for the
+	// baseline (weak sanity on a tiny sample: endpoints only).
+	if base[len(base)-1] > base[0] {
+		t.Errorf("FP ratio grew with utilization: %v", base)
+	}
+}
+
+func TestFig2RejectsPerfectArbiter(t *testing.T) {
+	if _, err := Fig2(core.Perfect, smallOpts()); err == nil {
+		t.Fatal("Fig2(Perfect) accepted")
+	}
+}
+
+func TestFig2Deterministic(t *testing.T) {
+	a, err := Fig2(core.RR, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig2(core.RR, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Values {
+			if a.Series[i].Values[j] != b.Series[i].Values[j] {
+				t.Fatalf("series %s point %d differs across identical runs", a.Series[i].Name, j)
+			}
+		}
+	}
+}
+
+func checkWeightedStudy(t *testing.T, st *Study, wantID string, wantPoints int) {
+	t.Helper()
+	if st.ID != wantID {
+		t.Errorf("ID = %q, want %q", st.ID, wantID)
+	}
+	if len(st.Xs) != wantPoints {
+		t.Fatalf("points = %d, want %d", len(st.Xs), wantPoints)
+	}
+	if len(st.Series) != 6 {
+		t.Fatalf("series = %d, want 6 paper variants", len(st.Series))
+	}
+	by := seriesByName(st)
+	for _, arb := range []string{"FP", "RR", "TDMA"} {
+		base, cp := by[arb], by[arb+"-CP"]
+		for i := range st.Xs {
+			if base[i] < 0 || base[i] > 1 || cp[i] < 0 || cp[i] > 1 {
+				t.Errorf("%s x=%g: weighted value out of range", arb, st.Xs[i])
+			}
+			if cp[i] < base[i] {
+				t.Errorf("%s x=%g: CP %g below baseline %g", arb, st.Xs[i], cp[i], base[i])
+			}
+		}
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	st, err := Fig3a(smallOpts())
+	if err != nil {
+		t.Fatalf("Fig3a: %v", err)
+	}
+	checkWeightedStudy(t, st, "Fig3a", 5)
+}
+
+func TestFig3bShape(t *testing.T) {
+	st, err := Fig3b(smallOpts())
+	if err != nil {
+		t.Fatalf("Fig3b: %v", err)
+	}
+	checkWeightedStudy(t, st, "Fig3b", 5)
+}
+
+func TestFig3cShape(t *testing.T) {
+	st, err := Fig3c(smallOpts())
+	if err != nil {
+		t.Fatalf("Fig3c: %v", err)
+	}
+	checkWeightedStudy(t, st, "Fig3c", 6)
+}
+
+func TestFig3dShape(t *testing.T) {
+	st, err := Fig3d(smallOpts())
+	if err != nil {
+		t.Fatalf("Fig3d: %v", err)
+	}
+	checkWeightedStudy(t, st, "Fig3d", 6)
+	// FP ignores the slot size: its series must be flat.
+	by := seriesByName(st)
+	for _, name := range []string{"FP", "FP-CP"} {
+		vals := by[name]
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[0] {
+				t.Errorf("%s not flat across slot sizes: %v", name, vals)
+				break
+			}
+		}
+	}
+}
+
+func TestStudyChartRenders(t *testing.T) {
+	st, err := Fig2(core.TDMA, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := st.Chart().Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(b.String(), "Fig2c") {
+		t.Errorf("chart missing title:\n%s", b.String())
+	}
+	b.Reset()
+	if err := st.Chart().WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.HasPrefix(b.String(), "x,TDMA,TDMA-CP,Perfect") {
+		t.Errorf("csv header = %q", strings.SplitN(b.String(), "\n", 2)[0])
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(taskmodel.CacheConfig{NumSets: 256, BlockSizeBytes: 32})
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	published := 0
+	for _, r := range rows {
+		if r.Published != nil {
+			published++
+			if r.Published.Name != r.Name {
+				t.Errorf("row %s paired with published %s", r.Name, r.Published.Name)
+			}
+		}
+	}
+	if published != 6 {
+		t.Errorf("published pairings = %d, want 6", published)
+	}
+	var b strings.Builder
+	if err := RenderTable1(&b, rows); err != nil {
+		t.Fatalf("RenderTable1: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"benchmark", "nsichneu", "147200", "lcdnum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+}
+
+func TestExtAssociativity(t *testing.T) {
+	pts, err := ExtAssociativity()
+	if err != nil {
+		t.Fatalf("ExtAssociativity: %v", err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	if pts[0].NumSets != 256 || pts[0].Ways != 1 {
+		t.Fatalf("first organisation = %dx%d, want 256x1", pts[0].NumSets, pts[0].Ways)
+	}
+	for _, p := range pts {
+		if p.NumSets*p.Ways != 256 {
+			t.Errorf("organisation %dx%d does not hold 256 lines", p.NumSets, p.Ways)
+		}
+		if p.TotalMDr > p.TotalMD || p.TotalMDrExact > p.TotalMDExact {
+			t.Errorf("%dx%d: residual demand exceeds full demand", p.NumSets, p.Ways)
+		}
+		if p.TotalMDExact > p.TotalMD {
+			t.Errorf("%dx%d: exact accounting looser than paper accounting", p.NumSets, p.Ways)
+		}
+	}
+	var b strings.Builder
+	if err := RenderAssoc(&b, pts); err != nil {
+		t.Fatalf("RenderAssoc: %v", err)
+	}
+	if !strings.Contains(b.String(), "256 sets x 1 ways") {
+		t.Errorf("render missing organisation row:\n%s", b.String())
+	}
+}
+
+func TestExtCRPD(t *testing.T) {
+	st, err := ExtCRPD(smallOpts())
+	if err != nil {
+		t.Fatalf("ExtCRPD: %v", err)
+	}
+	if len(st.Series) != 5 {
+		t.Fatalf("series = %d, want 5 CRPD approaches", len(st.Series))
+	}
+	by := seriesByName(st)
+	// The ECB-only bound is the most pessimistic of the set: it must
+	// never schedule more than ECB-union; Combined never less than
+	// either union approach.
+	for i := range st.Xs {
+		if by["ecb-only"][i] > by["ecb-union"][i] {
+			t.Errorf("x=%g: ecb-only %g above ecb-union %g", st.Xs[i], by["ecb-only"][i], by["ecb-union"][i])
+		}
+		if by["combined"][i] < by["ecb-union"][i] || by["combined"][i] < by["ucb-union"][i] {
+			t.Errorf("x=%g: combined below a union approach", st.Xs[i])
+		}
+		for _, s := range st.Series {
+			if s.Values[i] < 0 || s.Values[i] > 1 {
+				t.Errorf("x=%g: %s ratio out of range", st.Xs[i], s.Name)
+			}
+		}
+	}
+}
+
+func TestExtPartition(t *testing.T) {
+	st, err := ExtPartition(smallOpts())
+	if err != nil {
+		t.Fatalf("ExtPartition: %v", err)
+	}
+	if len(st.Series) != 4 {
+		t.Fatalf("series = %d, want 4 (paper-split + 3 heuristics)", len(st.Series))
+	}
+	for _, s := range st.Series {
+		for i, v := range s.Values {
+			if v < 0 || v > 1 {
+				t.Errorf("%s x=%g: ratio %g out of range", s.Name, st.Xs[i], v)
+			}
+		}
+	}
+}
+
+func TestExtOPA(t *testing.T) {
+	st, err := ExtOPA(smallOpts())
+	if err != nil {
+		t.Fatalf("ExtOPA: %v", err)
+	}
+	by := seriesByName(st)
+	for i := range st.Xs {
+		if by["OPA"][i] < by["DM"][i] {
+			t.Errorf("x=%g: OPA %g below DM %g (OPA can only help)", st.Xs[i], by["OPA"][i], by["DM"][i])
+		}
+	}
+}
+
+func TestExtHierarchy(t *testing.T) {
+	pts, err := ExtHierarchy()
+	if err != nil {
+		t.Fatalf("ExtHierarchy: %v", err)
+	}
+	if len(pts) != 4 || pts[0].Label != "no L2" {
+		t.Fatalf("points = %+v", pts)
+	}
+	base := pts[0]
+	for _, p := range pts[1:] {
+		// Adding an L2 can only reduce bus demand; L1 misses unchanged.
+		if p.TotalBusMD > base.TotalBusMD {
+			t.Errorf("%s: bus MD %d above no-L2 %d", p.Label, p.TotalBusMD, base.TotalBusMD)
+		}
+		if p.TotalL1Misses != base.TotalL1Misses {
+			t.Errorf("%s: L1 misses %d != %d", p.Label, p.TotalL1Misses, base.TotalL1Misses)
+		}
+		if p.TotalBusMDr > p.TotalBusMD {
+			t.Errorf("%s: MDr above MD", p.Label)
+		}
+	}
+	// Growing the L2 monotonically absorbs more traffic (visible in the
+	// exact accounting; the paper-style MD has no first-miss credit).
+	if pts[3].TotalBusMDExact > pts[2].TotalBusMDExact || pts[2].TotalBusMDExact > pts[1].TotalBusMDExact {
+		t.Errorf("exact bus demand not monotone in L2 size: %+v", pts)
+	}
+	var b strings.Builder
+	if err := RenderHierarchy(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no L2") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestExtGen(t *testing.T) {
+	st, err := ExtGen(smallOpts())
+	if err != nil {
+		t.Fatalf("ExtGen: %v", err)
+	}
+	if len(st.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(st.Series))
+	}
+	by := seriesByName(st)
+	for _, mode := range []string{"paper", "loguni"} {
+		base, cp := by[mode+"/RR"], by[mode+"/RR-CP"]
+		if base == nil || cp == nil {
+			t.Fatalf("missing series for mode %s", mode)
+		}
+		for i := range st.Xs {
+			if cp[i] < base[i] {
+				t.Errorf("%s x=%g: RR-CP %g below RR %g", mode, st.Xs[i], cp[i], base[i])
+			}
+		}
+	}
+}
+
+func TestStudyWriteCSVWithIntervals(t *testing.T) {
+	st, err := Fig2(core.FP, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := st.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(b.String(), "\n", 2)[0]
+	for _, want := range []string{"FP-lo95", "FP-hi95", "FP-CP-lo95", "Perfect-hi95"} {
+		if !strings.Contains(header, want) {
+			t.Errorf("CSV header missing %q: %s", want, header)
+		}
+	}
+	// Intervals bracket the point estimates.
+	for _, ser := range st.Series {
+		ci := st.Intervals[ser.Name]
+		for i, v := range ser.Values {
+			if ci[0][i] > v+1e-12 || ci[1][i] < v-1e-12 {
+				t.Errorf("%s point %d: CI [%g,%g] does not bracket %g", ser.Name, i, ci[0][i], ci[1][i], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/benchsuite"
+	"repro/internal/staticwcet"
+	"repro/internal/taskmodel"
+)
+
+// AssocPoint aggregates the suite-wide effect of one cache
+// organisation in the associativity extension study.
+type AssocPoint struct {
+	NumSets int
+	Ways    int
+	// Totals across the benchmark suite.
+	TotalMD, TotalMDr           int64
+	TotalMDExact, TotalMDrExact int64
+	TotalPCB, TotalECB          int
+	FullyPersistentBenchmarks   int
+	ZeroPersistenceBenchmarks   int
+}
+
+// ExtAssociativity is an extension study beyond the paper (which fixes
+// a direct-mapped cache): at a constant capacity of 256 cache lines,
+// it trades sets for ways — (256,1), (128,2), (64,4), (32,8) — and
+// reports how the suite's memory demand and persistent footprint
+// respond. Higher associativity removes conflict thrashing (MD^r
+// shrinks) but fewer sets mean more footprint collisions per set, so
+// |PCB| follows the capacity rule "persistent iff at most Ways blocks
+// share a set".
+func ExtAssociativity() ([]AssocPoint, error) {
+	organisations := []struct{ sets, ways int }{
+		{256, 1}, {128, 2}, {64, 4}, {32, 8},
+	}
+	var out []AssocPoint
+	for _, org := range organisations {
+		cfg := taskmodel.CacheConfig{NumSets: org.sets, BlockSizeBytes: 32, Associativity: org.ways}
+		params, err := benchsuite.ExtractAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt := AssocPoint{NumSets: org.sets, Ways: org.ways}
+		for _, p := range params {
+			r := p.Result
+			pt.TotalMD += r.MD
+			pt.TotalMDr += r.MDr
+			pt.TotalMDExact += r.MDExact
+			pt.TotalMDrExact += r.MDrExact
+			pt.TotalPCB += r.PCB.Count()
+			pt.TotalECB += r.ECB.Count()
+			if r.PCB.Equal(r.ECB) {
+				pt.FullyPersistentBenchmarks++
+			}
+			if r.PCB.IsEmpty() {
+				pt.ZeroPersistenceBenchmarks++
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderAssoc prints the associativity study as a table.
+func RenderAssoc(w io.Writer, pts []AssocPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "organisation\tΣMD\tΣMDr\tΣMDexact\tΣMDrexact\tΣ|PCB|\tΣ|ECB|\tfully-persistent\tzero-persistence")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d sets x %d ways\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			p.NumSets, p.Ways, p.TotalMD, p.TotalMDr, p.TotalMDExact, p.TotalMDrExact,
+			p.TotalPCB, p.TotalECB, p.FullyPersistentBenchmarks, p.ZeroPersistenceBenchmarks)
+	}
+	return tw.Flush()
+}
+
+// HierPoint aggregates the suite-wide effect of adding a private L2.
+type HierPoint struct {
+	Label             string
+	L2Sets, L2Ways    int
+	TotalL1Misses     int64
+	TotalBusMD        int64
+	TotalBusMDr       int64
+	TotalBusMDExact   int64
+	FullyL2Persistent int
+}
+
+// ExtHierarchy quantifies the paper's future-work direction: how much
+// bus demand a private L2 absorbs. The L1 stays at the paper's
+// default; L2 candidates grow from 512 lines to 2048.
+func ExtHierarchy() ([]HierPoint, error) {
+	l1 := taskmodel.CacheConfig{NumSets: 256, BlockSizeBytes: 32}
+	configs := []struct {
+		label      string
+		sets, ways int
+	}{
+		{"no L2", 0, 0},
+		{"512x1", 512, 1},
+		{"512x2", 512, 2},
+		{"1024x2", 1024, 2},
+	}
+	var out []HierPoint
+	for _, c := range configs {
+		pt := HierPoint{Label: c.label, L2Sets: c.sets, L2Ways: c.ways}
+		for _, b := range benchsuite.Suite() {
+			if c.sets == 0 {
+				r, err := staticwcet.Analyze(b.Prog, l1)
+				if err != nil {
+					return nil, err
+				}
+				pt.TotalL1Misses += r.MD
+				pt.TotalBusMD += r.MD
+				pt.TotalBusMDr += r.MDr
+				pt.TotalBusMDExact += r.MDExact
+				if r.PCB.Equal(r.ECB) {
+					pt.FullyL2Persistent++
+				}
+				continue
+			}
+			l2 := taskmodel.CacheConfig{NumSets: c.sets, BlockSizeBytes: 32, Associativity: c.ways}
+			h, err := staticwcet.AnalyzeHierarchy(b.Prog, l1, l2)
+			if err != nil {
+				return nil, err
+			}
+			pt.TotalL1Misses += h.L1Misses
+			pt.TotalBusMD += h.MD
+			pt.TotalBusMDr += h.MDr
+			pt.TotalBusMDExact += h.MDExact
+			if h.PCB.Equal(h.ECB) {
+				pt.FullyL2Persistent++
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderHierarchy prints the hierarchy study as a table.
+func RenderHierarchy(w io.Writer, pts []HierPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "L2\tΣ L1 misses\tΣ bus MD\tΣ bus MDr\tΣ bus MDexact\tfully-persistent benchmarks")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n",
+			p.Label, p.TotalL1Misses, p.TotalBusMD, p.TotalBusMDr, p.TotalBusMDExact, p.FullyL2Persistent)
+	}
+	return tw.Flush()
+}

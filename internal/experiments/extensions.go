@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/crpd"
+	"repro/internal/opa"
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/taskgen"
+	"repro/internal/textplot"
+)
+
+// ExtCRPD is the CRPD-approach ablation called out in DESIGN.md §5:
+// the RR-CP analysis re-run with each preemption-delay bound, plotted
+// as schedulable ratio over the utilization sweep. The paper fixes
+// ECB-union; this study shows how much of the result depends on that
+// choice.
+func ExtCRPD(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	approaches := []crpd.Approach{crpd.ECBUnion, crpd.UCBOnly, crpd.ECBOnly, crpd.UCBUnion, crpd.Combined}
+	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	if err != nil {
+		return nil, err
+	}
+
+	series := make([]textplot.Series, len(approaches))
+	for i, ap := range approaches {
+		series[i] = textplot.Series{Name: ap.String(), Values: make([]float64, len(opts.Utilizations))}
+	}
+
+	for ui, util := range opts.Utilizations {
+		obs := make([][]stats.Observation, len(approaches))
+		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
+			seed := opts.Seed + int64(sample)*7919 + int64(util*1e6)
+			cfg := opts.Base
+			cfg.CoreUtilization = util
+			ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return nil, err
+			}
+			u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
+			for ai, ap := range approaches {
+				res, err := core.Analyze(ts, core.Config{Arbiter: core.RR, Persistence: true, CRPD: ap})
+				if err != nil {
+					return nil, err
+				}
+				obs[ai] = append(obs[ai], stats.Observation{Utilization: u, Schedulable: res.Schedulable})
+			}
+		}
+		for ai := range approaches {
+			series[ai].Values[ui] = stats.Ratio(obs[ai])
+		}
+	}
+
+	return &Study{
+		ID:               "ExtCRPD",
+		Title:            "RR-CP schedulability per CRPD approach",
+		XLabel:           "per-core utilization",
+		YLabel:           "schedulable ratio",
+		Xs:               opts.Utilizations,
+		Series:           series,
+		TaskSetsPerPoint: opts.TaskSetsPerPoint,
+	}, nil
+}
+
+// ExtPartition compares task-to-core placement heuristics under the
+// RR-CP analysis: the paper's fixed per-core split versus
+// utilization-driven first-fit/worst-fit and the cache-aware placement
+// that avoids PCB/ECB collisions (which directly shrink CPRO and
+// CRPD).
+func ExtPartition(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	heuristics := []partition.Heuristic{partition.FirstFit, partition.WorstFit, partition.CacheAware}
+	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	if err != nil {
+		return nil, err
+	}
+
+	names := append([]string{"paper-split"}, make([]string, len(heuristics))...)
+	for i, h := range heuristics {
+		names[i+1] = h.String()
+	}
+	series := make([]textplot.Series, len(names))
+	for i, n := range names {
+		series[i] = textplot.Series{Name: n, Values: make([]float64, len(opts.Utilizations))}
+	}
+	anaCfg := core.Config{Arbiter: core.RR, Persistence: true}
+
+	for ui, util := range opts.Utilizations {
+		obs := make([][]stats.Observation, len(names))
+		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
+			seed := opts.Seed + int64(sample)*7919 + int64(util*1e6)
+			cfg := opts.Base
+			cfg.CoreUtilization = util
+			ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return nil, err
+			}
+			u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
+
+			// 0: the generator's own per-core split.
+			res, err := core.Analyze(ts, anaCfg)
+			if err != nil {
+				return nil, err
+			}
+			obs[0] = append(obs[0], stats.Observation{Utilization: u, Schedulable: res.Schedulable})
+
+			for hi, h := range heuristics {
+				verdict := false
+				if err := partition.Assign(ts, h); err == nil {
+					res, err := core.Analyze(ts, anaCfg)
+					if err != nil {
+						return nil, err
+					}
+					verdict = res.Schedulable
+				}
+				obs[hi+1] = append(obs[hi+1], stats.Observation{Utilization: u, Schedulable: verdict})
+			}
+		}
+		for i := range names {
+			series[i].Values[ui] = stats.Ratio(obs[i])
+		}
+	}
+
+	return &Study{
+		ID:               "ExtPartition",
+		Title:            "RR-CP schedulability per partitioning heuristic",
+		XLabel:           "per-core utilization",
+		YLabel:           "schedulable ratio",
+		Xs:               opts.Utilizations,
+		Series:           series,
+		TaskSetsPerPoint: opts.TaskSetsPerPoint,
+	}, nil
+}
+
+// ExtOPA compares priority-assignment policies under the RR-CP
+// analysis: the paper's deadline-monotonic assignment versus Audsley's
+// OPA search (internal/opa). OPA can only help — it falls back to
+// any assignment that works, including DM itself.
+func ExtOPA(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	if err != nil {
+		return nil, err
+	}
+	anaCfg := core.Config{Arbiter: core.RR, Persistence: true}
+	series := []textplot.Series{
+		{Name: "DM", Values: make([]float64, len(opts.Utilizations))},
+		{Name: "OPA", Values: make([]float64, len(opts.Utilizations))},
+	}
+	for ui, util := range opts.Utilizations {
+		var dmObs, opaObs []stats.Observation
+		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
+			seed := opts.Seed + int64(sample)*7919 + int64(util*1e6)
+			cfg := opts.Base
+			cfg.CoreUtilization = util
+			ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return nil, err
+			}
+			u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
+			res, err := core.Analyze(ts, anaCfg)
+			if err != nil {
+				return nil, err
+			}
+			dmObs = append(dmObs, stats.Observation{Utilization: u, Schedulable: res.Schedulable})
+			opaVerdict := res.Schedulable // DM success is an OPA witness
+			if !opaVerdict {
+				r, err := opa.Assign(ts, anaCfg)
+				if err != nil {
+					return nil, err
+				}
+				opaVerdict = r.Schedulable
+			}
+			opaObs = append(opaObs, stats.Observation{Utilization: u, Schedulable: opaVerdict})
+		}
+		series[0].Values[ui] = stats.Ratio(dmObs)
+		series[1].Values[ui] = stats.Ratio(opaObs)
+	}
+	return &Study{
+		ID:               "ExtOPA",
+		Title:            "RR-CP schedulability: deadline monotonic vs Audsley OPA",
+		XLabel:           "per-core utilization",
+		YLabel:           "schedulable ratio",
+		Xs:               opts.Utilizations,
+		Series:           series,
+		TaskSetsPerPoint: opts.TaskSetsPerPoint,
+	}, nil
+}
+
+// ExtGen checks the evaluation's robustness to the task-generation
+// methodology: the RR and RR-CP schedulability curves under the
+// paper's demand-derived periods versus log-uniform periods with
+// scaled demands (Davis & Burns style). The persistence-aware
+// dominance must be visible under both.
+func ExtGen(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	if err != nil {
+		return nil, err
+	}
+	modes := []struct {
+		label string
+		mode  taskgen.PeriodMode
+	}{
+		{"paper", taskgen.PeriodFromDemand},
+		{"loguni", taskgen.PeriodLogUniform},
+	}
+	type variant struct {
+		name string
+		cfg  core.Config
+	}
+	anas := []variant{
+		{"RR", core.Config{Arbiter: core.RR}},
+		{"RR-CP", core.Config{Arbiter: core.RR, Persistence: true}},
+	}
+	var series []textplot.Series
+	for range modes {
+		for range anas {
+			series = append(series, textplot.Series{Values: make([]float64, len(opts.Utilizations))})
+		}
+	}
+	si := 0
+	for mi := range modes {
+		for ai := range anas {
+			series[si].Name = modes[mi].label + "/" + anas[ai].name
+			si++
+		}
+	}
+
+	for ui, util := range opts.Utilizations {
+		obs := make([][]stats.Observation, len(series))
+		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
+			seed := opts.Seed + int64(sample)*7919 + int64(util*1e6)
+			for mi, m := range modes {
+				cfg := opts.Base
+				cfg.CoreUtilization = util
+				cfg.Periods = m.mode
+				ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					return nil, err
+				}
+				u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
+				for ai, a := range anas {
+					res, err := core.Analyze(ts, a.cfg)
+					if err != nil {
+						return nil, err
+					}
+					idx := mi*len(anas) + ai
+					obs[idx] = append(obs[idx], stats.Observation{Utilization: u, Schedulable: res.Schedulable})
+				}
+			}
+		}
+		for i := range series {
+			series[i].Values[ui] = stats.Ratio(obs[i])
+		}
+	}
+	return &Study{
+		ID:               "ExtGen",
+		Title:            "generation-methodology robustness (RR vs RR-CP)",
+		XLabel:           "per-core utilization",
+		YLabel:           "schedulable ratio",
+		Xs:               opts.Utilizations,
+		Series:           series,
+		TaskSetsPerPoint: opts.TaskSetsPerPoint,
+	}, nil
+}

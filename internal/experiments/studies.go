@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/taskgen"
+	"repro/internal/textplot"
+)
+
+// Fig2 reproduces Fig. 2a (FP), 2b (RR) or 2c (TDMA): the ratio of
+// schedulable task sets as the per-core utilization grows, comparing
+// the persistence-oblivious analysis, its persistence-aware
+// counterpart, and the perfect-bus upper bound.
+func Fig2(arb core.Arbiter, opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	variants := []Variant{
+		{arb.String(), arb, false},
+		{arb.String() + "-CP", arb, true},
+		{"Perfect", core.Perfect, true},
+	}
+	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	if err != nil {
+		return nil, err
+	}
+	perPoint, err := sweep(opts, len(opts.Utilizations),
+		func(int) (taskgen.Config, []taskgen.TaskParams, error) { return opts.Base, pool, nil },
+		func(p int) []float64 { return opts.Utilizations[p : p+1] },
+		variants,
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	series := make([]textplot.Series, len(variants))
+	intervals := map[string][2][]float64{}
+	for vi, v := range variants {
+		vals := make([]float64, len(perPoint))
+		lo := make([]float64, len(perPoint))
+		hi := make([]float64, len(perPoint))
+		for p, samples := range perPoint {
+			sched := 0
+			for _, s := range samples {
+				if s.verdict[v.Name] {
+					sched++
+				}
+			}
+			if n := len(samples); n > 0 {
+				vals[p] = float64(sched) / float64(n)
+				lo[p], hi[p] = stats.WilsonInterval(sched, n, 1.96)
+			}
+		}
+		series[vi] = textplot.Series{Name: v.Name, Values: vals}
+		intervals[v.Name] = [2][]float64{lo, hi}
+	}
+
+	id := map[core.Arbiter]string{core.FP: "Fig2a", core.RR: "Fig2b", core.TDMA: "Fig2c"}[arb]
+	if id == "" {
+		return nil, fmt.Errorf("experiments: Fig2 undefined for arbiter %v", arb)
+	}
+	return &Study{
+		ID:               id,
+		Title:            fmt.Sprintf("schedulable task sets vs core utilization (%s bus)", arb),
+		XLabel:           "per-core utilization",
+		YLabel:           "schedulable ratio",
+		Xs:               opts.Utilizations,
+		Series:           series,
+		Intervals:        intervals,
+		TaskSetsPerPoint: opts.TaskSetsPerPoint,
+	}, nil
+}
+
+// weightedStudy runs a Fig. 3 style experiment: for every value of the
+// swept parameter, task sets are generated across the whole
+// utilization grid and reduced to the weighted schedulability measure.
+func weightedStudy(opts Options, id, title, xlabel string, xs []float64,
+	configAt func(point int) (taskgen.Config, []taskgen.TaskParams, error),
+) (*Study, error) {
+	opts = opts.withDefaults()
+	variants := PaperVariants()
+	perPoint, err := sweep(opts, len(xs), configAt,
+		func(int) []float64 { return opts.Utilizations },
+		variants,
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		ID:               id,
+		Title:            title,
+		XLabel:           xlabel,
+		YLabel:           "weighted schedulability",
+		Xs:               xs,
+		Series:           weightedSeries(perPoint, variants),
+		TaskSetsPerPoint: opts.TaskSetsPerPoint,
+	}, nil
+}
+
+// Fig3a sweeps the number of cores (2..10 step 2 in the paper).
+func Fig3a(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	cores := []float64{2, 4, 6, 8, 10}
+	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	if err != nil {
+		return nil, err
+	}
+	return weightedStudy(opts, "Fig3a", "weighted schedulability vs number of cores", "cores", cores,
+		func(p int) (taskgen.Config, []taskgen.TaskParams, error) {
+			cfg := opts.Base
+			cfg.Platform.NumCores = int(cores[p])
+			return cfg, pool, nil
+		})
+}
+
+// Fig3b sweeps the memory reload time d_mem (2..10 step 2).
+func Fig3b(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	dmems := []float64{2, 4, 6, 8, 10}
+	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	if err != nil {
+		return nil, err
+	}
+	return weightedStudy(opts, "Fig3b", "weighted schedulability vs memory reload time", "d_mem", dmems,
+		func(p int) (taskgen.Config, []taskgen.TaskParams, error) {
+			cfg := opts.Base
+			cfg.Platform.DMem = int64(dmems[p])
+			return cfg, pool, nil
+		})
+}
+
+// Fig3c sweeps the cache size (32..1024 sets); task parameters are
+// re-derived by the static analysis at every geometry, exactly as
+// re-running Heptane would.
+func Fig3c(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	sizes := []float64{32, 64, 128, 256, 512, 1024}
+	return weightedStudy(opts, "Fig3c", "weighted schedulability vs cache size", "cache sets", sizes,
+		func(p int) (taskgen.Config, []taskgen.TaskParams, error) {
+			cfg := opts.Base
+			cfg.Platform.Cache.NumSets = int(sizes[p])
+			pool, err := taskgen.PoolFromSuite(cfg.Platform.Cache)
+			return cfg, pool, err
+		})
+}
+
+// Fig3d sweeps the RR/TDMA slot size s (1..6).
+func Fig3d(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	slots := []float64{1, 2, 3, 4, 5, 6}
+	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	if err != nil {
+		return nil, err
+	}
+	return weightedStudy(opts, "Fig3d", "weighted schedulability vs RR/TDMA slot size", "slot size s", slots,
+		func(p int) (taskgen.Config, []taskgen.TaskParams, error) {
+			cfg := opts.Base
+			cfg.Platform.SlotSize = int(slots[p])
+			return cfg, pool, nil
+		})
+}

@@ -1,0 +1,61 @@
+// Package fixtures provides the worked example of the paper's Fig. 1
+// as a ready-made task set. It is shared by unit tests across the
+// analysis packages and by examples/paperexample, so the golden numbers
+// of Section IV are checked against a single definition.
+package fixtures
+
+import (
+	"repro/internal/cacheset"
+	"repro/internal/taskmodel"
+)
+
+// Fig1NumSets is the cache geometry used to express the example's
+// block sets (the paper draws 16 cache sets in Fig. 1).
+const Fig1NumSets = 16
+
+// Fig1Platform returns the two-core platform of the example: τ1, τ2 on
+// core π_x (0), τ3 on core π_y (1). The RR bus of the example uses a
+// slot size of 1.
+func Fig1Platform() taskmodel.Platform {
+	return taskmodel.Platform{
+		NumCores: 2,
+		Cache:    taskmodel.CacheConfig{NumSets: Fig1NumSets, BlockSizeBytes: 32},
+		DMem:     1,
+		SlotSize: 1,
+	}
+}
+
+// Fig1TaskSet builds the three tasks with the parameters printed in
+// the caption of Fig. 1:
+//
+//	PD1=PD3=4, PD2=32, MD1=MD3=6, MD2=8, MD1r=MD3r=1,
+//	ECB1=ECB3={5..10}, ECB2={1..6}, PCB1=PCB3={5,6,7,8,10}, UCB2={5,6}.
+//
+// Periods are chosen to match the schedule: the example releases three
+// jobs of τ1 during R2 (E1(R2)=3) and four jobs of τ3 fit the window
+// used in Eq. (13).
+func Fig1TaskSet() *taskmodel.TaskSet {
+	n := Fig1NumSets
+	t1 := &taskmodel.Task{
+		Name: "tau1", Core: 0, Priority: 0,
+		PD: 4, MD: 6, MDr: 1, Period: 40, Deadline: 40,
+		ECB: cacheset.Of(n, 5, 6, 7, 8, 9, 10),
+		PCB: cacheset.Of(n, 5, 6, 7, 8, 10),
+		UCB: cacheset.Of(n, 5, 6, 7, 8, 10),
+	}
+	t2 := &taskmodel.Task{
+		Name: "tau2", Core: 0, Priority: 1,
+		PD: 32, MD: 8, MDr: 8, Period: 120, Deadline: 120,
+		ECB: cacheset.Of(n, 1, 2, 3, 4, 5, 6),
+		PCB: cacheset.New(n),
+		UCB: cacheset.Of(n, 5, 6),
+	}
+	t3 := &taskmodel.Task{
+		Name: "tau3", Core: 1, Priority: 2,
+		PD: 4, MD: 6, MDr: 1, Period: 30, Deadline: 30,
+		ECB: cacheset.Of(n, 5, 6, 7, 8, 9, 10),
+		PCB: cacheset.Of(n, 5, 6, 7, 8, 10),
+		UCB: cacheset.Of(n, 5, 6, 7, 8, 10),
+	}
+	return taskmodel.NewTaskSet(Fig1Platform(), []*taskmodel.Task{t1, t2, t3})
+}

@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cacheset"
+	"repro/internal/taskgen"
+	"repro/internal/taskmodel"
+)
+
+// unassignedSet generates a task set and wipes its core assignments.
+func unassignedSet(t *testing.T, seed int64, util float64, cores int) *taskmodel.TaskSet {
+	t.Helper()
+	cfg := taskgen.DefaultConfig()
+	cfg.Platform.NumCores = cores
+	cfg.TasksPerCore = 6
+	cfg.CoreUtilization = util
+	pool, err := taskgen.PoolFromSuite(cfg.Platform.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range ts.Tasks {
+		task.Core = 0
+	}
+	return ts
+}
+
+func TestAssignRespectsCapacity(t *testing.T) {
+	for _, h := range []Heuristic{FirstFit, WorstFit, CacheAware} {
+		for seed := int64(0); seed < 10; seed++ {
+			ts := unassignedSet(t, seed, 0.5, 4)
+			if err := Assign(ts, h); err != nil {
+				t.Fatalf("%v seed %d: %v", h, seed, err)
+			}
+			for c, u := range Loads(ts) {
+				if u > 1.0+1e-9 {
+					t.Fatalf("%v seed %d: core %d overloaded (%.3f)", h, seed, c, u)
+				}
+			}
+			for _, task := range ts.Tasks {
+				if task.Core < 0 || task.Core >= 4 {
+					t.Fatalf("%v: task %q on core %d", h, task.Name, task.Core)
+				}
+			}
+		}
+	}
+}
+
+func TestWorstFitBalances(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ts := unassignedSet(t, seed, 0.4, 4)
+		if err := Assign(ts, WorstFit); err != nil {
+			t.Fatal(err)
+		}
+		loads := Loads(ts)
+		minL, maxL := math.Inf(1), math.Inf(-1)
+		for _, u := range loads {
+			minL = math.Min(minL, u)
+			maxL = math.Max(maxL, u)
+		}
+		// Worst-fit with decreasing utilizations keeps the spread below
+		// the largest single task's utilization.
+		var biggest float64
+		for _, task := range ts.Tasks {
+			biggest = math.Max(biggest, task.Utilization(ts.Platform.DMem))
+		}
+		if maxL-minL > biggest+1e-9 {
+			t.Errorf("seed %d: load spread %.3f exceeds largest task %.3f", seed, maxL-minL, biggest)
+		}
+	}
+}
+
+func TestCacheAwareReducesOverlap(t *testing.T) {
+	// Across seeds, the cache-aware heuristic must on aggregate produce
+	// no more PCB∩ECB collisions than first-fit.
+	var ffTotal, caTotal int
+	for seed := int64(0); seed < 12; seed++ {
+		ff := unassignedSet(t, seed, 0.4, 4)
+		if err := Assign(ff, FirstFit); err != nil {
+			t.Fatal(err)
+		}
+		ffTotal += OverlapScore(ff)
+
+		ca := unassignedSet(t, seed, 0.4, 4)
+		if err := Assign(ca, CacheAware); err != nil {
+			t.Fatal(err)
+		}
+		caTotal += OverlapScore(ca)
+	}
+	if caTotal > ffTotal {
+		t.Errorf("cache-aware overlap %d exceeds first-fit %d", caTotal, ffTotal)
+	}
+}
+
+func TestAssignOverloadFails(t *testing.T) {
+	n := 8
+	plat := taskmodel.Platform{
+		NumCores: 1,
+		Cache:    taskmodel.CacheConfig{NumSets: n, BlockSizeBytes: 32},
+		DMem:     1, SlotSize: 1,
+	}
+	mk := func(prio int) *taskmodel.Task {
+		return &taskmodel.Task{
+			Name: "t", Core: 0, Priority: prio,
+			PD: 60, MD: 0, MDr: 0, Period: 100, Deadline: 100,
+			ECB: cacheset.New(n), UCB: cacheset.New(n), PCB: cacheset.New(n),
+		}
+	}
+	ts := taskmodel.NewTaskSet(plat, []*taskmodel.Task{mk(0), mk(1)}) // 1.2 total
+	for _, h := range []Heuristic{FirstFit, WorstFit, CacheAware} {
+		if err := Assign(ts, h); err == nil {
+			t.Errorf("%v: overloaded system accepted", h)
+		}
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	for h, want := range map[Heuristic]string{
+		FirstFit: "first-fit", WorstFit: "worst-fit", CacheAware: "cache-aware",
+		Heuristic(9): "Heuristic(9)",
+	} {
+		if got := h.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(h), got, want)
+		}
+	}
+}
+
+func TestAssignBadPlatform(t *testing.T) {
+	ts := &taskmodel.TaskSet{Platform: taskmodel.Platform{NumCores: 0}}
+	if err := Assign(ts, FirstFit); err == nil {
+		t.Error("zero-core platform accepted")
+	}
+}

@@ -1,0 +1,263 @@
+package persistence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cacheset"
+	"repro/internal/fixtures"
+	"repro/internal/taskmodel"
+)
+
+func TestMDHatFig1(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	t1 := ts.ByName("tau1")
+	// Three jobs of τ1: MD + 2·MD^r + ... Eq. (10) gives
+	// min(3·6; 3·1 + 5) = min(18, 8) = 8 — the paper's count of actual
+	// accesses by the three jobs (6+1+1).
+	if got := MDHat(t1, 3); got != 8 {
+		t.Errorf("M̂D_1(3) = %d, want 8", got)
+	}
+	if got := MDHat(t1, 1); got != 6 {
+		t.Errorf("M̂D_1(1) = %d, want 6 (min(6, 1+5))", got)
+	}
+	if got := MDHat(t1, 0); got != 0 {
+		t.Errorf("M̂D_1(0) = %d, want 0", got)
+	}
+	// τ2 has no PCBs: M̂D degenerates to n·MD.
+	t2 := ts.ByName("tau2")
+	if got := MDHat(t2, 4); got != 32 {
+		t.Errorf("M̂D_2(4) = %d, want 32", got)
+	}
+}
+
+func TestMDHatPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MDHat(-1) did not panic")
+		}
+	}()
+	MDHat(fixtures.Fig1TaskSet().ByName("tau1"), -1)
+}
+
+func TestRhoHatFig1(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	// ρ̂_{1,2,x}(3): PCB_1 = {5,6,7,8,10}, evicting union over
+	// hep(2)\{τ1} on core 0 = ECB_2 = {1..6}; overlap {5,6}.
+	// (3−1)·2 = 4, as computed below Eq. (14).
+	if got := RhoHat(ts, Union, 0, 1, 0, 3); got != 4 {
+		t.Errorf("ρ̂_{1,2,x}(3) = %d, want 4", got)
+	}
+	// One job: no reloads.
+	if got := RhoHat(ts, Union, 0, 1, 0, 1); got != 0 {
+		t.Errorf("ρ̂(1) = %d, want 0", got)
+	}
+	if got := RhoHat(ts, Union, 0, 1, 0, 0); got != 0 {
+		t.Errorf("ρ̂(0) = %d, want 0", got)
+	}
+	// FullReload charges all five PCBs per extra job.
+	if got := RhoHat(ts, FullReload, 0, 1, 0, 3); got != 10 {
+		t.Errorf("ρ̂_full(3) = %d, want 10", got)
+	}
+	if got := RhoHat(ts, None, 0, 1, 0, 3); got != 0 {
+		t.Errorf("ρ̂_none(3) = %d, want 0", got)
+	}
+}
+
+func TestEvictingUnionExcludesSelf(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	u := EvictingUnion(ts, 1, 0, 0)
+	if !u.Equal(ts.ByName("tau2").ECB) {
+		t.Errorf("EvictingUnion = %v, want ECB2 %v", u, ts.ByName("tau2").ECB)
+	}
+	// For τ3 alone on core 1 the union is empty.
+	if got := EvictingUnion(ts, 2, 2, 1); !got.IsEmpty() {
+		t.Errorf("EvictingUnion on single-task core = %v, want empty", got)
+	}
+}
+
+func TestPersistentDemandFig1(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	// Three jobs of τ1 during R2 with CPRO: M̂D(3) + ρ̂(3) = 8 + 4 = 12,
+	// versus 3·MD = 18: the aware bound wins.
+	if got := PersistentDemand(ts, Union, 0, 1, 0, 3); got != 12 {
+		t.Errorf("PersistentDemand(τ1, 3 jobs) = %d, want 12", got)
+	}
+	// τ3 on core π_y with nothing else on that core: 1·MD + 3·MD^r = 9
+	// for four jobs — the example's count below Lemma 1.
+	if got := PersistentDemand(ts, Union, 2, 2, 1, 4); got != 9 {
+		t.Errorf("PersistentDemand(τ3, 4 jobs) = %d, want 9", got)
+	}
+	if got := PersistentDemand(ts, Union, 0, 1, 0, 0); got != 0 {
+		t.Errorf("PersistentDemand(0 jobs) = %d, want 0", got)
+	}
+}
+
+func randomTask(rng *rand.Rand, nsets, prio, core int) *taskmodel.Task {
+	ecb := cacheset.New(nsets)
+	pcb := cacheset.New(nsets)
+	ucb := cacheset.New(nsets)
+	for s := 0; s < nsets; s++ {
+		if rng.Intn(2) == 0 {
+			ecb.Add(s)
+			if rng.Intn(3) == 0 {
+				pcb.Add(s)
+			}
+			if rng.Intn(3) == 0 {
+				ucb.Add(s)
+			}
+		}
+	}
+	md := int64(pcb.Count() + rng.Intn(20))
+	return &taskmodel.Task{
+		Name: "r", Core: core, Priority: prio,
+		PD: int64(1 + rng.Intn(100)), MD: md, MDr: md - int64(pcb.Count()),
+		Period: 1000, Deadline: 1000,
+		ECB: ecb, PCB: pcb, UCB: ucb,
+	}
+}
+
+func randomTaskSet(seed int64) *taskmodel.TaskSet {
+	rng := rand.New(rand.NewSource(seed))
+	nsets := 8 + rng.Intn(24)
+	plat := taskmodel.Platform{
+		NumCores: 2,
+		Cache:    taskmodel.CacheConfig{NumSets: nsets, BlockSizeBytes: 32},
+		DMem:     5, SlotSize: 2,
+	}
+	tasks := make([]*taskmodel.Task, 5)
+	for i := range tasks {
+		tasks[i] = randomTask(rng, nsets, i, i%2)
+	}
+	return taskmodel.NewTaskSet(plat, tasks)
+}
+
+func TestQuickMDHatNeverExceedsPlainDemand(t *testing.T) {
+	f := func(seed int64, njobs uint8) bool {
+		ts := randomTaskSet(seed % 1000)
+		n := int64(njobs % 50)
+		for _, task := range ts.Tasks {
+			if MDHat(task, n) > n*task.MD {
+				return false
+			}
+			if MDHat(task, n) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMDHatMonotoneAndSubadditive(t *testing.T) {
+	f := func(seed int64, njobs uint8) bool {
+		ts := randomTaskSet(seed % 1000)
+		n := int64(njobs%30) + 1
+		for _, task := range ts.Tasks {
+			// Monotone in n.
+			if MDHat(task, n) > MDHat(task, n+1) {
+				return false
+			}
+			// Subadditive: splitting the job sequence cannot be cheaper,
+			// since the PCB warm-up would be paid twice.
+			if MDHat(task, n) > MDHat(task, n-1)+MDHat(task, 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCPROOrderingAndBounds(t *testing.T) {
+	f := func(seed int64, njobs uint8) bool {
+		ts := randomTaskSet(seed % 1000)
+		n := int64(njobs % 20)
+		for core := 0; core < 2; core++ {
+			for i := 0; i < 5; i++ {
+				for j := 0; j <= i; j++ {
+					u := RhoHat(ts, Union, j, i, core, n)
+					fl := RhoHat(ts, FullReload, j, i, core, n)
+					no := RhoHat(ts, None, j, i, core, n)
+					if !(no <= u && u <= fl) {
+						return false
+					}
+					// PersistentDemand never exceeds the oblivious bound
+					// and never goes negative.
+					tj := ts.ByPriority(j)
+					pd := PersistentDemand(ts, Union, j, i, core, n)
+					if pd < 0 || pd > n*tj.MD {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPersistentDemandUnknownPriority(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	if got := PersistentDemand(ts, Union, 42, 1, 0, 3); got != 0 {
+		t.Errorf("unknown priority demand = %d, want 0", got)
+	}
+	if got := RhoHat(ts, Union, 42, 1, 0, 3); got != 0 {
+		t.Errorf("unknown priority rho = %d, want 0", got)
+	}
+}
+
+func TestRhoHatWindowMultiset(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	// τ1's PCBs overlap only τ2's ECBs ({5,6}). τ2's period is 120, so
+	// a window of 100 holds ⌊100/120⌋ = 0 full releases plus the +2
+	// carry margin: the multiset bound for n=9 jobs of τ1 is
+	// min(9−1, 2)·2 = 4 versus the union bound 8·2 = 16.
+	union := RhoHatWindow(ts, Union, 0, 1, 0, 9, 100)
+	multi := RhoHatWindow(ts, MultisetUnion, 0, 1, 0, 9, 100)
+	if union != 16 {
+		t.Fatalf("union = %d, want 16", union)
+	}
+	if multi != 4 {
+		t.Fatalf("multiset = %d, want 4", multi)
+	}
+	// Small n: the (n−1) cap dominates and the two coincide.
+	if u, m := RhoHatWindow(ts, Union, 0, 1, 0, 2, 100), RhoHatWindow(ts, MultisetUnion, 0, 1, 0, 2, 100); u != m {
+		t.Fatalf("n=2: union %d != multiset %d", u, m)
+	}
+}
+
+func TestQuickMultisetNeverWorseThanUnion(t *testing.T) {
+	f := func(seed int64, njobs uint8, window uint16) bool {
+		ts := randomTaskSet(seed % 1000)
+		n := int64(njobs % 20)
+		tt := taskmodel.Time(window)
+		for core := 0; core < 2; core++ {
+			for i := 0; i < 5; i++ {
+				for j := 0; j <= i; j++ {
+					u := RhoHatWindow(ts, Union, j, i, core, n, tt)
+					m := RhoHatWindow(ts, MultisetUnion, j, i, core, n, tt)
+					if m > u || m < 0 {
+						return false
+					}
+					pd := PersistentDemandWindow(ts, MultisetUnion, j, i, core, n, tt)
+					tj := ts.ByPriority(j)
+					if pd < 0 || pd > n*tj.MD {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

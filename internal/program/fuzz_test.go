@@ -1,0 +1,37 @@
+package program
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the program decoder never panics and that any
+// program it accepts is valid and re-encodable. The corpus seeds run
+// as part of the normal test suite.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"name":"m","root":{"kind":"ref","block":1,"cycles":2}}`)
+	f.Add(`{"name":"m","root":{"kind":"seq","items":[{"kind":"ref","block":0}]}}`)
+	f.Add(`{"name":"m","root":{"kind":"loop","bound":3,"body":{"kind":"ref","block":2}}}`)
+	f.Add(`{"name":"m","root":{"kind":"alt","a":{"kind":"ref","block":1},"b":{"kind":"ref","block":2},"taken":true}}`)
+	f.Add(`{"name":"m"}`)
+	f.Add(`{`)
+	f.Add(`{"name":"m","root":{"kind":"loop","bound":-1,"body":{"kind":"ref","block":2}}}`)
+	f.Add(`{"name":"m","root":{"kind":"ref","block":-9}}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadJSON(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted program fails re-encoding: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("re-encoded program rejected: %v", err)
+		}
+	})
+}

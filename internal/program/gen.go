@@ -1,0 +1,111 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterises random structured-program generation. The
+// generator is used by property tests (analysis vs. simulation
+// cross-checks) and by the synthetic benchmark suite.
+type GenConfig struct {
+	// Blocks is the code footprint: blocks are drawn from [Base,
+	// Base+Blocks).
+	Blocks int
+	// Base is the first memory-block index of the program's code.
+	Base int
+	// MaxDepth bounds loop/branch nesting.
+	MaxDepth int
+	// MaxLoopBound bounds each loop's iteration count (>= 1).
+	MaxLoopBound int
+	// MaxSeqLen bounds the number of children of a sequence.
+	MaxSeqLen int
+	// CyclesPerRef is the execution cost charged per block execution.
+	CyclesPerRef int64
+	// ReuseBias in [0,1]: probability that a new reference reuses an
+	// already-referenced block instead of a fresh one; higher values
+	// produce more UCBs and PCB reuse.
+	ReuseBias float64
+}
+
+// DefaultGenConfig returns a configuration producing small loopy
+// programs suitable for exhaustive simulation in tests.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Blocks:       24,
+		Base:         0,
+		MaxDepth:     3,
+		MaxLoopBound: 8,
+		MaxSeqLen:    5,
+		CyclesPerRef: 4,
+		ReuseBias:    0.5,
+	}
+}
+
+// Generate builds a random structured program from the configuration
+// and RNG. The result always references at least one block.
+func Generate(name string, cfg GenConfig, rng *rand.Rand) *Program {
+	if cfg.Blocks < 1 {
+		panic(fmt.Sprintf("program: GenConfig.Blocks = %d, need >= 1", cfg.Blocks))
+	}
+	if cfg.MaxLoopBound < 1 {
+		cfg.MaxLoopBound = 1
+	}
+	if cfg.MaxSeqLen < 1 {
+		cfg.MaxSeqLen = 1
+	}
+	if cfg.CyclesPerRef < 0 {
+		cfg.CyclesPerRef = 0
+	}
+	g := &generator{cfg: cfg, rng: rng}
+	root := g.seq(cfg.MaxDepth)
+	// Guarantee at least one reference.
+	if len(g.used) == 0 {
+		root.Items = append(root.Items, g.ref())
+	}
+	return &Program{Name: name, Root: root}
+}
+
+type generator struct {
+	cfg  GenConfig
+	rng  *rand.Rand
+	used []int // blocks already referenced, for reuse bias
+}
+
+func (g *generator) pickBlock() int {
+	if len(g.used) > 0 && g.rng.Float64() < g.cfg.ReuseBias {
+		return g.used[g.rng.Intn(len(g.used))]
+	}
+	b := g.cfg.Base + g.rng.Intn(g.cfg.Blocks)
+	g.used = append(g.used, b)
+	return b
+}
+
+func (g *generator) ref() *Ref {
+	return R(g.pickBlock(), g.cfg.CyclesPerRef)
+}
+
+func (g *generator) node(depth int) Node {
+	if depth <= 0 {
+		return g.ref()
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1, 2: // loop
+		return &Loop{Bound: 1 + g.rng.Intn(g.cfg.MaxLoopBound), Body: g.seq(depth - 1)}
+	case 3: // branch
+		return &Alt{A: g.seq(depth - 1), B: g.seq(depth - 1), Taken: g.rng.Intn(2) == 1}
+	case 4, 5: // nested sequence
+		return g.seq(depth - 1)
+	default: // plain reference (majority, keeps programs compact)
+		return g.ref()
+	}
+}
+
+func (g *generator) seq(depth int) *Seq {
+	n := 1 + g.rng.Intn(g.cfg.MaxSeqLen)
+	items := make([]Node, n)
+	for i := range items {
+		items[i] = g.node(depth)
+	}
+	return &Seq{Items: items}
+}

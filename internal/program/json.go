@@ -1,0 +1,144 @@
+package program
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON representation of programs, so custom workloads can be fed to
+// cmd/wcetextract and the simulator without writing Go. The format is
+// a direct tree encoding:
+//
+//	{"name": "filter", "root": {
+//	   "kind": "seq", "items": [
+//	     {"kind": "ref", "block": 0, "cycles": 2},
+//	     {"kind": "loop", "bound": 50, "body": {"kind": "ref", "block": 6, "cycles": 3}},
+//	     {"kind": "alt", "a": {...}, "b": {...}, "taken": false}
+//	]}}
+
+type nodeJSON struct {
+	Kind string `json:"kind"`
+	// ref
+	Block  int   `json:"block,omitempty"`
+	Cycles int64 `json:"cycles,omitempty"`
+	// seq
+	Items []*nodeJSON `json:"items,omitempty"`
+	// loop
+	Bound int       `json:"bound,omitempty"`
+	Body  *nodeJSON `json:"body,omitempty"`
+	// alt
+	A     *nodeJSON `json:"a,omitempty"`
+	B     *nodeJSON `json:"b,omitempty"`
+	Taken bool      `json:"taken,omitempty"`
+}
+
+type programJSON struct {
+	Name string    `json:"name"`
+	Root *nodeJSON `json:"root"`
+}
+
+func encodeNode(n Node) (*nodeJSON, error) {
+	switch v := n.(type) {
+	case *Ref:
+		return &nodeJSON{Kind: "ref", Block: v.Block, Cycles: v.Cycles}, nil
+	case *Seq:
+		out := &nodeJSON{Kind: "seq"}
+		for _, it := range v.Items {
+			e, err := encodeNode(it)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, e)
+		}
+		return out, nil
+	case *Loop:
+		body, err := encodeNode(v.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &nodeJSON{Kind: "loop", Bound: v.Bound, Body: body}, nil
+	case *Alt:
+		a, err := encodeNode(v.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := encodeNode(v.B)
+		if err != nil {
+			return nil, err
+		}
+		return &nodeJSON{Kind: "alt", A: a, B: b, Taken: v.Taken}, nil
+	default:
+		return nil, fmt.Errorf("program: cannot encode node type %T", n)
+	}
+}
+
+func decodeNode(n *nodeJSON) (Node, error) {
+	if n == nil {
+		return nil, fmt.Errorf("program: missing node")
+	}
+	switch n.Kind {
+	case "ref":
+		return &Ref{Block: n.Block, Cycles: n.Cycles}, nil
+	case "seq":
+		out := &Seq{}
+		for i, it := range n.Items {
+			d, err := decodeNode(it)
+			if err != nil {
+				return nil, fmt.Errorf("seq item %d: %w", i, err)
+			}
+			out.Items = append(out.Items, d)
+		}
+		return out, nil
+	case "loop":
+		body, err := decodeNode(n.Body)
+		if err != nil {
+			return nil, fmt.Errorf("loop body: %w", err)
+		}
+		return &Loop{Bound: n.Bound, Body: body}, nil
+	case "alt":
+		a, err := decodeNode(n.A)
+		if err != nil {
+			return nil, fmt.Errorf("alt branch a: %w", err)
+		}
+		b, err := decodeNode(n.B)
+		if err != nil {
+			return nil, fmt.Errorf("alt branch b: %w", err)
+		}
+		return &Alt{A: a, B: b, Taken: n.Taken}, nil
+	default:
+		return nil, fmt.Errorf("program: unknown node kind %q", n.Kind)
+	}
+}
+
+// WriteJSON encodes the program.
+func (p *Program) WriteJSON(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	root, err := encodeNode(p.Root)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(programJSON{Name: p.Name, Root: root})
+}
+
+// ReadJSON decodes and validates a program written by WriteJSON (or by
+// hand).
+func ReadJSON(r io.Reader) (*Program, error) {
+	var in programJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("program: decoding: %w", err)
+	}
+	root, err := decodeNode(in.Root)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Name: in.Name, Root: root}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,98 @@
+package program
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundtripHandBuilt(t *testing.T) {
+	p := &Program{Name: "rt", Root: S(
+		R(0, 2),
+		L(5, R(1, 3), &Alt{A: S(R(2, 1)), B: S(R(3, 1)), Taken: true}),
+	)}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.Name != "rt" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if !reflect.DeepEqual(got.Trace(0), p.Trace(0)) {
+		t.Error("trace differs after roundtrip")
+	}
+	if !reflect.DeepEqual(got.Footprint(), p.Footprint()) {
+		t.Error("footprint differs after roundtrip")
+	}
+}
+
+func TestJSONRoundtripRandomPrograms(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := int64(0); seed < 40; seed++ {
+		p := Generate("rand", cfg, rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatalf("seed %d: WriteJSON: %v", seed, err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: ReadJSON: %v", seed, err)
+		}
+		if got.DynamicRefs() != p.DynamicRefs() || got.NumRefs() != p.NumRefs() {
+			t.Fatalf("seed %d: structure differs after roundtrip", seed)
+		}
+		if !reflect.DeepEqual(got.Trace(5000), p.Trace(5000)) {
+			t.Fatalf("seed %d: trace differs after roundtrip", seed)
+		}
+	}
+}
+
+func TestReadJSONHandWritten(t *testing.T) {
+	src := `{"name":"mini","root":{"kind":"seq","items":[
+		{"kind":"ref","block":3,"cycles":2},
+		{"kind":"loop","bound":4,"body":{"kind":"ref","block":5,"cycles":1}}
+	]}}`
+	p, err := ReadJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got := p.DynamicRefs(); got != 5 {
+		t.Errorf("DynamicRefs = %d, want 5", got)
+	}
+	if got, want := p.Footprint(), []int{3, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Footprint = %v, want %v", got, want)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{nope`,
+		"unknown kind":   `{"name":"x","root":{"kind":"goto"}}`,
+		"missing root":   `{"name":"x"}`,
+		"bad loop bound": `{"name":"x","root":{"kind":"loop","bound":0,"body":{"kind":"ref","block":1}}}`,
+		"loop no body":   `{"name":"x","root":{"kind":"loop","bound":2}}`,
+		"alt no branch":  `{"name":"x","root":{"kind":"alt","a":{"kind":"ref","block":1}}}`,
+		"negative block": `{"name":"x","root":{"kind":"ref","block":-4}}`,
+		"bad seq item":   `{"name":"x","root":{"kind":"seq","items":[{"kind":"wat"}]}}`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+				t.Fatalf("accepted %q", src)
+			}
+		})
+	}
+}
+
+func TestWriteJSONRejectsInvalid(t *testing.T) {
+	p := &Program{Name: "bad", Root: &Loop{Bound: 0, Body: R(1, 1)}}
+	if err := p.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("invalid program serialized")
+	}
+}

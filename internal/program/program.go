@@ -1,0 +1,251 @@
+// Package program models the structured programs whose cache behaviour
+// the static analysis (package staticwcet) characterises.
+//
+// The paper extracts every per-task parameter (PD, MD, MD^r, UCB, ECB,
+// PCB) from Mälardalen benchmark binaries with the Heptane static WCET
+// analyzer. This package provides the equivalent input artifact: a
+// reducible, structured control-flow tree made of sequences, bounded
+// loops, alternatives and memory-block references (instruction fetches
+// at cache-block granularity). Programs are deterministic, so they can
+// both be analysed statically and expanded into exact execution traces
+// for the discrete-event simulator.
+package program
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one region of a structured program. The concrete types are
+// Seq, Loop, Alt and Ref.
+type Node interface {
+	// visit calls f for every Ref in the subtree in program order.
+	visit(f func(*Ref))
+	// check validates structural invariants, returning the first error.
+	check() error
+}
+
+// Ref is a reference to one memory block: the fetch (and execution) of
+// the instructions held in a single cache-block-sized chunk of code.
+type Ref struct {
+	// Block is the memory-block index (address / block size).
+	Block int
+	// Cycles is the execution cost of the instructions in the block
+	// once fetched, i.e. the contribution to PD per execution.
+	Cycles int64
+}
+
+func (r *Ref) visit(f func(*Ref)) { f(r) }
+
+func (r *Ref) check() error {
+	if r.Block < 0 {
+		return fmt.Errorf("program: negative block %d", r.Block)
+	}
+	if r.Cycles < 0 {
+		return fmt.Errorf("program: negative cycles %d on block %d", r.Cycles, r.Block)
+	}
+	return nil
+}
+
+// Seq executes its children in order.
+type Seq struct {
+	Items []Node
+}
+
+func (s *Seq) visit(f func(*Ref)) {
+	for _, it := range s.Items {
+		it.visit(f)
+	}
+}
+
+func (s *Seq) check() error {
+	for _, it := range s.Items {
+		if it == nil {
+			return fmt.Errorf("program: nil node in Seq")
+		}
+		if err := it.check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Loop executes Body exactly Bound times per entry (the loop bound is
+// the worst case the analysis charges and the count the trace uses).
+type Loop struct {
+	Bound int
+	Body  Node
+}
+
+func (l *Loop) visit(f func(*Ref)) { l.Body.visit(f) }
+
+func (l *Loop) check() error {
+	if l.Bound < 1 {
+		return fmt.Errorf("program: loop bound %d, need >= 1", l.Bound)
+	}
+	if l.Body == nil {
+		return fmt.Errorf("program: loop with nil body")
+	}
+	return l.Body.check()
+}
+
+// Alt is a two-way branch. The static analysis treats it
+// conservatively (max execution cost, summed memory cost, intersected
+// cache state); the trace expansion follows the branch selected by
+// Taken (false = A, true = B) on every execution.
+type Alt struct {
+	A, B  Node
+	Taken bool
+}
+
+func (a *Alt) visit(f func(*Ref)) {
+	a.A.visit(f)
+	a.B.visit(f)
+}
+
+func (a *Alt) check() error {
+	if a.A == nil || a.B == nil {
+		return fmt.Errorf("program: Alt with nil branch")
+	}
+	if err := a.A.check(); err != nil {
+		return err
+	}
+	return a.B.check()
+}
+
+// Program is a named structured program.
+type Program struct {
+	Name string
+	Root Node
+}
+
+// Validate reports the first structural problem.
+func (p *Program) Validate() error {
+	if p.Root == nil {
+		return fmt.Errorf("program %q: nil root", p.Name)
+	}
+	if err := p.Root.check(); err != nil {
+		return fmt.Errorf("program %q: %w", p.Name, err)
+	}
+	return nil
+}
+
+// Footprint returns the distinct memory blocks referenced anywhere in
+// the program, in increasing order.
+func (p *Program) Footprint() []int {
+	seen := map[int]bool{}
+	p.Root.visit(func(r *Ref) { seen[r.Block] = true })
+	out := make([]int, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumRefs returns the number of Ref nodes (static references).
+func (p *Program) NumRefs() int {
+	n := 0
+	p.Root.visit(func(*Ref) { n++ })
+	return n
+}
+
+// TraceStep is one step of a program execution: fetch Block, then
+// execute for Cycles.
+type TraceStep struct {
+	Block  int
+	Cycles int64
+}
+
+// Trace expands the deterministic execution of the program into the
+// exact sequence of block references. The trace length is the dynamic
+// reference count, so callers should bound loop products for large
+// programs. If max > 0 the trace is truncated to max steps.
+func (p *Program) Trace(max int) []TraceStep {
+	var out []TraceStep
+	var walk func(n Node) bool
+	walk = func(n Node) bool {
+		if max > 0 && len(out) >= max {
+			return false
+		}
+		switch v := n.(type) {
+		case *Ref:
+			out = append(out, TraceStep{Block: v.Block, Cycles: v.Cycles})
+		case *Seq:
+			for _, it := range v.Items {
+				if !walk(it) {
+					return false
+				}
+			}
+		case *Loop:
+			for i := 0; i < v.Bound; i++ {
+				if !walk(v.Body) {
+					return false
+				}
+			}
+		case *Alt:
+			br := v.A
+			if v.Taken {
+				br = v.B
+			}
+			return walk(br)
+		default:
+			panic(fmt.Sprintf("program: unknown node type %T", n))
+		}
+		return max <= 0 || len(out) < max
+	}
+	walk(p.Root)
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// DynamicRefs returns the total number of references the trace would
+// contain (the dynamic reference count) without materialising it.
+func (p *Program) DynamicRefs() int64 {
+	var count func(n Node) int64
+	count = func(n Node) int64 {
+		switch v := n.(type) {
+		case *Ref:
+			return 1
+		case *Seq:
+			var s int64
+			for _, it := range v.Items {
+				s += count(it)
+			}
+			return s
+		case *Loop:
+			return int64(v.Bound) * count(v.Body)
+		case *Alt:
+			if v.Taken {
+				return count(v.B)
+			}
+			return count(v.A)
+		default:
+			panic(fmt.Sprintf("program: unknown node type %T", n))
+		}
+	}
+	return count(p.Root)
+}
+
+// --- construction helpers -------------------------------------------------
+
+// S builds a sequence node.
+func S(items ...Node) *Seq { return &Seq{Items: items} }
+
+// L builds a loop node.
+func L(bound int, body ...Node) *Loop { return &Loop{Bound: bound, Body: S(body...)} }
+
+// R builds a single block reference with the given execution cost.
+func R(block int, cycles int64) *Ref { return &Ref{Block: block, Cycles: cycles} }
+
+// Straight builds a straight-line run of n consecutive blocks starting
+// at first, each costing cycles.
+func Straight(first, n int, cycles int64) *Seq {
+	items := make([]Node, n)
+	for i := 0; i < n; i++ {
+		items[i] = R(first+i, cycles)
+	}
+	return &Seq{Items: items}
+}

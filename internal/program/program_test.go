@@ -1,0 +1,138 @@
+package program
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestStraight(t *testing.T) {
+	p := &Program{Name: "straight", Root: Straight(10, 4, 2)}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got, want := p.Footprint(), []int{10, 11, 12, 13}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Footprint = %v, want %v", got, want)
+	}
+	if got := p.NumRefs(); got != 4 {
+		t.Fatalf("NumRefs = %d, want 4", got)
+	}
+	if got := p.DynamicRefs(); got != 4 {
+		t.Fatalf("DynamicRefs = %d, want 4", got)
+	}
+	tr := p.Trace(0)
+	if len(tr) != 4 || tr[0] != (TraceStep{Block: 10, Cycles: 2}) || tr[3].Block != 13 {
+		t.Fatalf("Trace = %v", tr)
+	}
+}
+
+func TestLoopTrace(t *testing.T) {
+	// for i in 0..2 { ref 5; ref 6 }
+	p := &Program{Name: "loop", Root: L(3, R(5, 1), R(6, 1))}
+	tr := p.Trace(0)
+	wantBlocks := []int{5, 6, 5, 6, 5, 6}
+	if len(tr) != 6 {
+		t.Fatalf("Trace length = %d, want 6", len(tr))
+	}
+	for i, s := range tr {
+		if s.Block != wantBlocks[i] {
+			t.Fatalf("Trace[%d].Block = %d, want %d", i, s.Block, wantBlocks[i])
+		}
+	}
+	if got := p.DynamicRefs(); got != 6 {
+		t.Fatalf("DynamicRefs = %d, want 6", got)
+	}
+	if got := p.NumRefs(); got != 2 {
+		t.Fatalf("NumRefs = %d, want 2", got)
+	}
+}
+
+func TestNestedLoopDynamicRefs(t *testing.T) {
+	p := &Program{Name: "nest", Root: L(4, L(5, R(1, 1)), R(2, 1))}
+	if got := p.DynamicRefs(); got != 4*(5+1) {
+		t.Fatalf("DynamicRefs = %d, want 24", got)
+	}
+}
+
+func TestAltTraceFollowsTaken(t *testing.T) {
+	a := &Alt{A: S(R(1, 1)), B: S(R(2, 1)), Taken: false}
+	p := &Program{Name: "alt", Root: S(a)}
+	if tr := p.Trace(0); len(tr) != 1 || tr[0].Block != 1 {
+		t.Fatalf("Trace(A) = %v, want block 1", tr)
+	}
+	a.Taken = true
+	if tr := p.Trace(0); len(tr) != 1 || tr[0].Block != 2 {
+		t.Fatalf("Trace(B) = %v, want block 2", tr)
+	}
+	// Footprint covers both branches regardless of Taken.
+	if got, want := p.Footprint(), []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Footprint = %v, want %v", got, want)
+	}
+}
+
+func TestTraceTruncation(t *testing.T) {
+	p := &Program{Name: "big", Root: L(1000, R(1, 1))}
+	tr := p.Trace(10)
+	if len(tr) != 10 {
+		t.Fatalf("Trace(max=10) length = %d, want 10", len(tr))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"nil root", &Program{Name: "x"}},
+		{"negative block", &Program{Name: "x", Root: R(-1, 1)}},
+		{"negative cycles", &Program{Name: "x", Root: R(1, -1)}},
+		{"zero loop bound", &Program{Name: "x", Root: &Loop{Bound: 0, Body: R(1, 1)}}},
+		{"nil loop body", &Program{Name: "x", Root: &Loop{Bound: 2}}},
+		{"nil alt branch", &Program{Name: "x", Root: &Alt{A: R(1, 1)}}},
+		{"nil in seq", &Program{Name: "x", Root: &Seq{Items: []Node{nil}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(); err == nil {
+				t.Fatal("Validate = nil, want error")
+			}
+		})
+	}
+}
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := int64(0); seed < 50; seed++ {
+		p1 := Generate("g", cfg, rand.New(rand.NewSource(seed)))
+		if err := p1.Validate(); err != nil {
+			t.Fatalf("seed %d: Validate: %v", seed, err)
+		}
+		if p1.NumRefs() < 1 {
+			t.Fatalf("seed %d: no refs", seed)
+		}
+		p2 := Generate("g", cfg, rand.New(rand.NewSource(seed)))
+		if !reflect.DeepEqual(p1.Trace(1000), p2.Trace(1000)) {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		// Footprint blocks stay within the configured range.
+		for _, b := range p1.Footprint() {
+			if b < cfg.Base || b >= cfg.Base+cfg.Blocks {
+				t.Fatalf("seed %d: block %d outside [%d,%d)", seed, b, cfg.Base, cfg.Base+cfg.Blocks)
+			}
+		}
+	}
+}
+
+func TestGenerateTraceMatchesDynamicRefs(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := int64(0); seed < 30; seed++ {
+		p := Generate("g", cfg, rand.New(rand.NewSource(seed)))
+		dyn := p.DynamicRefs()
+		if dyn > 200000 {
+			continue // avoid huge materialisations
+		}
+		if got := int64(len(p.Trace(0))); got != dyn {
+			t.Fatalf("seed %d: trace length %d != DynamicRefs %d", seed, got, dyn)
+		}
+	}
+}

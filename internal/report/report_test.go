@@ -1,0 +1,102 @@
+package report
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/taskgen"
+	"repro/internal/taskmodel"
+)
+
+func genSet(t *testing.T, util float64) *taskmodel.TaskSet {
+	t.Helper()
+	cfg := taskgen.DefaultConfig()
+	cfg.Platform.NumCores = 2
+	cfg.TasksPerCore = 3
+	cfg.CoreUtilization = util
+	pool, err := taskgen.PoolFromSuite(cfg.Platform.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestWriteFullReport(t *testing.T) {
+	ts := genSet(t, 0.2)
+	var b strings.Builder
+	err := Write(&b, ts, Options{Sensitivity: true, ExplainWorst: true})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Bus contention analysis report",
+		"## Schedulability verdicts",
+		"| FP |", "| FP-CP |", "| RR |", "| RR-CP |", "| TDMA |", "| TDMA-CP |", "| Perfect |",
+		"## Per-task bounds (RR-CP)",
+		"## Bound decomposition — most stressed task",
+		"## Sensitivity",
+		"## Cache pressure",
+		"core 0:", "core 1:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteMinimalReport(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	var b strings.Builder
+	if err := Write(&b, ts, Options{}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := b.String()
+	if strings.Contains(out, "## Sensitivity") {
+		t.Error("sensitivity section present despite Options zero value")
+	}
+	if strings.Contains(out, "Bound decomposition") {
+		t.Error("explain section present despite Options zero value")
+	}
+	if !strings.Contains(out, "tau2") {
+		t.Error("per-task table missing tau2")
+	}
+}
+
+func TestWriteCustomReference(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	var b strings.Builder
+	err := Write(&b, ts, Options{Reference: core.Config{Arbiter: core.FP, Persistence: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "## Per-task bounds (FP-CP)") {
+		t.Errorf("reference configuration not honoured:\n%s", b.String())
+	}
+}
+
+func TestWriteUnschedulableSet(t *testing.T) {
+	ts := genSet(t, 0.95)
+	var b strings.Builder
+	if err := Write(&b, ts, Options{ExplainWorst: true}); err != nil {
+		t.Fatalf("Write on unschedulable set: %v", err)
+	}
+	if !strings.Contains(b.String(), "| false |") && !strings.Contains(b.String(), "miss") {
+		t.Error("unschedulable verdicts not visible")
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	ts.Tasks[0].MDr = ts.Tasks[0].MD + 1
+	if err := Write(&strings.Builder{}, ts, Options{}); err == nil {
+		t.Fatal("invalid task set accepted")
+	}
+}

@@ -1,0 +1,231 @@
+package sim
+
+import "fmt"
+
+// Policy is the bus arbitration policy simulated on the shared memory
+// bus. The semantics mirror the assumptions under which the analysis
+// equations are sound:
+//
+//   - PolicyFP: work-conserving; the pending request whose task has the
+//     highest priority wins; a transaction in service is never
+//     preempted.
+//   - PolicyRR: work-conserving round robin over cores with up to s
+//     consecutive services per core's turn; cores without a pending
+//     request are skipped instantly.
+//   - PolicyTDMA: non-work-conserving, demand-driven slotting: when the
+//     bus is free, the turn owner's request is served if present;
+//     otherwise the bus idles for a full slot (d_mem) and the turn
+//     advances — other cores cannot steal the unused slot. Each core
+//     owns s consecutive slots per cycle of NumCores×s, so a request
+//     waits at most (NumCores−1)·s slots plus one in-service
+//     transaction, exactly Eq. (9)'s accounting.
+type Policy int
+
+const (
+	PolicyFP Policy = iota
+	PolicyRR
+	PolicyTDMA
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyFP:
+		return "FP"
+	case PolicyRR:
+		return "RR"
+	case PolicyTDMA:
+		return "TDMA"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// request is one pending bus transaction: core wants block, issued by
+// the task with the given priority.
+type request struct {
+	core     int
+	block    int
+	priority int
+}
+
+// bus models the shared memory bus: at most one transaction in
+// service, at most one pending request per core.
+type bus struct {
+	policy   Policy
+	numCores int
+	slotSize int
+	dmem     int64
+
+	pending []*request // indexed by core, nil if none
+
+	// in-service transaction
+	busy      bool
+	current   request
+	remaining int64
+
+	// RR/TDMA turn state
+	turnCore  int
+	turnUsed  int
+	idleSlots int64 // TDMA: cycles left of a deliberately idle slot
+
+	// stats
+	served   int64
+	busyTime int64
+	idleHeld int64 // TDMA: cycles idled away while demand was pending
+}
+
+func newBus(policy Policy, numCores, slotSize int, dmem int64) *bus {
+	return &bus{
+		policy:   policy,
+		numCores: numCores,
+		slotSize: slotSize,
+		dmem:     dmem,
+		pending:  make([]*request, numCores),
+	}
+}
+
+// submit registers a request for the core; at most one may be
+// outstanding per core.
+func (b *bus) submit(r request) {
+	if b.pending[r.core] != nil {
+		panic(fmt.Sprintf("sim: core %d already has a pending bus request", r.core))
+	}
+	b.pending[r.core] = &r
+}
+
+// cancel withdraws the core's pending request, if any; an in-service
+// transaction cannot be cancelled. Reports whether a request was
+// withdrawn.
+func (b *bus) cancel(core int) bool {
+	if b.pending[core] == nil {
+		return false
+	}
+	b.pending[core] = nil
+	return true
+}
+
+// inService reports whether a transaction for the core is currently on
+// the bus.
+func (b *bus) inService(core int) bool {
+	return b.busy && b.current.core == core
+}
+
+func (b *bus) hasPending() bool {
+	for _, r := range b.pending {
+		if r != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceTurn moves RR/TDMA arbitration to the next core's slot group.
+func (b *bus) advanceTurn() {
+	b.turnCore = (b.turnCore + 1) % b.numCores
+	b.turnUsed = 0
+}
+
+// tick advances the bus by one cycle. A request granted in this cycle
+// receives the cycle as its first service cycle, so back-to-back
+// transactions leave no gap and a request submitted earlier in the
+// same simulation cycle starts service immediately. The completed
+// request, if the in-flight transaction finished at the end of this
+// cycle, is returned.
+func (b *bus) tick() *request {
+	// TDMA: an idle slot in progress blocks the bus even with demand
+	// pending (non-work-conserving).
+	if b.idleSlots > 0 {
+		if b.hasPending() {
+			b.idleHeld++
+		}
+		b.idleSlots--
+		if b.idleSlots == 0 {
+			b.advanceTurn()
+		}
+		return nil
+	}
+	if !b.busy {
+		b.grant()
+		if b.idleSlots > 0 {
+			// grant decided to burn a TDMA slot; consume its first cycle.
+			if b.hasPending() {
+				b.idleHeld++
+			}
+			b.idleSlots--
+			if b.idleSlots == 0 {
+				b.advanceTurn()
+			}
+			return nil
+		}
+	}
+	if !b.busy {
+		return nil
+	}
+	b.busyTime++
+	b.remaining--
+	if b.remaining > 0 {
+		return nil
+	}
+	b.busy = false
+	done := b.current
+	if b.policy == PolicyRR || b.policy == PolicyTDMA {
+		b.turnUsed++
+		if b.turnUsed >= b.slotSize {
+			b.advanceTurn()
+		}
+	}
+	return &done
+}
+
+// grant selects the next transaction according to the policy; for
+// TDMA it may instead schedule an idle slot.
+func (b *bus) grant() {
+	switch b.policy {
+	case PolicyFP:
+		best := -1
+		for c, r := range b.pending {
+			if r == nil {
+				continue
+			}
+			if best == -1 || r.priority < b.pending[best].priority {
+				best = c
+			}
+		}
+		if best >= 0 {
+			b.start(best)
+		}
+	case PolicyRR:
+		if !b.hasPending() {
+			return
+		}
+		// Work-conserving: skip turn owners without requests instantly.
+		for scanned := 0; scanned < b.numCores; scanned++ {
+			if b.pending[b.turnCore] != nil {
+				b.start(b.turnCore)
+				return
+			}
+			b.advanceTurn()
+		}
+	case PolicyTDMA:
+		if !b.hasPending() {
+			// No demand: hold the turn open until a request arrives.
+			return
+		}
+		if b.pending[b.turnCore] != nil {
+			b.start(b.turnCore)
+			return
+		}
+		// The owner has no demand but others do: burn one full slot.
+		b.idleSlots = b.dmem
+	default:
+		panic(fmt.Sprintf("sim: unknown policy %d", int(b.policy)))
+	}
+}
+
+func (b *bus) start(core int) {
+	b.current = *b.pending[core]
+	b.pending[core] = nil
+	b.busy = true
+	b.remaining = b.dmem
+	b.served++
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/taskmodel"
+)
+
+// EventKind classifies simulator trace events.
+type EventKind int
+
+const (
+	// EvRelease: a job arrived.
+	EvRelease EventKind = iota
+	// EvComplete: a job finished (Value = response time).
+	EvComplete
+	// EvMissBus: an L1(+L2) miss issued a bus request (Value = block).
+	EvMissBus
+	// EvBusComplete: a bus transaction completed and filled the cache
+	// (Value = block).
+	EvBusComplete
+	// EvL2Hit: an L1 miss was satisfied by the L2 (Value = block).
+	EvL2Hit
+	// EvPreempt: a running job was displaced by a higher-priority one
+	// (Value = preemptor priority).
+	EvPreempt
+	// EvDeadlineMiss: a job completed after its deadline (Value =
+	// response time).
+	EvDeadlineMiss
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvRelease:
+		return "release"
+	case EvComplete:
+		return "complete"
+	case EvMissBus:
+		return "miss->bus"
+	case EvBusComplete:
+		return "bus-complete"
+	case EvL2Hit:
+		return "l2-hit"
+	case EvPreempt:
+		return "preempt"
+	case EvDeadlineMiss:
+		return "deadline-miss"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one simulator occurrence.
+type Event struct {
+	Time     taskmodel.Time
+	Kind     EventKind
+	Task     string
+	Priority int
+	Core     int
+	Value    int64
+}
+
+// Tracer receives simulator events as they happen. Implementations
+// must be fast; the simulator calls them inline.
+type Tracer interface {
+	Event(Event)
+}
+
+// WriterTracer formats events one per line onto an io.Writer.
+type WriterTracer struct {
+	W io.Writer
+}
+
+// Event implements Tracer.
+func (t *WriterTracer) Event(e Event) {
+	fmt.Fprintf(t.W, "%8d  core%d  %-13s %s(p%d)", e.Time, e.Core, e.Kind, e.Task, e.Priority)
+	switch e.Kind {
+	case EvComplete, EvDeadlineMiss:
+		fmt.Fprintf(t.W, " R=%d", e.Value)
+	case EvMissBus, EvBusComplete, EvL2Hit:
+		fmt.Fprintf(t.W, " block=%d", e.Value)
+	case EvPreempt:
+		fmt.Fprintf(t.W, " by-priority=%d", e.Value)
+	}
+	fmt.Fprintln(t.W)
+}
+
+// CollectTracer appends events to a slice, for tests and programmatic
+// consumers.
+type CollectTracer struct {
+	Events []Event
+}
+
+// Event implements Tracer.
+func (t *CollectTracer) Event(e Event) { t.Events = append(t.Events, e) }
+
+// emit sends an event if a tracer is configured.
+func emit(tr Tracer, e Event) {
+	if tr != nil {
+		tr.Event(e)
+	}
+}

@@ -1,0 +1,113 @@
+package staticwcet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/program"
+	"repro/internal/taskmodel"
+)
+
+func cacheAssoc(nsets, ways int) taskmodel.CacheConfig {
+	return taskmodel.CacheConfig{NumSets: nsets, BlockSizeBytes: 32, Associativity: ways}
+}
+
+func TestTwoWayResolvesThrashing(t *testing.T) {
+	// Blocks 0 and 4 collide in a 4-set direct-mapped cache and thrash;
+	// at two ways they coexist and become persistent.
+	p := &program.Program{Name: "pair", Root: program.L(10, program.R(0, 1), program.R(4, 1))}
+
+	dm := mustAnalyze(t, p, cacheAssoc(4, 1))
+	if dm.MDExact != 20 || !dm.PCB.IsEmpty() {
+		t.Fatalf("direct-mapped: MDExact=%d PCB=%v, want 20 and empty", dm.MDExact, dm.PCB)
+	}
+
+	w2 := mustAnalyze(t, p, cacheAssoc(4, 2))
+	if w2.MDExact != 2 {
+		t.Errorf("2-way MDExact = %d, want 2 (one first-miss per block)", w2.MDExact)
+	}
+	if w2.PCB.Count() != 1 {
+		t.Errorf("2-way |PCB| = %d, want 1 (set 0 holds both blocks)", w2.PCB.Count())
+	}
+	if w2.MDr != 0 || w2.MDrExact != 0 {
+		t.Errorf("2-way MDr = %d/%d, want 0/0", w2.MDr, w2.MDrExact)
+	}
+}
+
+func TestMustAnalysisAgesAcrossWays(t *testing.T) {
+	// 2-way set: access 0, 4, then 0 again — 0 must still be resident
+	// (age 1 after 4's fetch), so the third reference is a must hit.
+	p := &program.Program{Name: "ages", Root: program.S(
+		program.R(0, 1), program.R(4, 1), program.R(0, 1),
+	)}
+	r := mustAnalyze(t, p, cacheAssoc(4, 2))
+	if r.MD != 2 {
+		t.Errorf("MD = %d, want 2 (third reference must hit)", r.MD)
+	}
+	if r.Refs[2].Class != AlwaysHit {
+		t.Errorf("third ref class = %v, want AH", r.Refs[2].Class)
+	}
+	// And with three conflicting blocks in two ways, the guarantee dies.
+	p3 := &program.Program{Name: "ages3", Root: program.S(
+		program.R(0, 1), program.R(4, 1), program.R(8, 1), program.R(0, 1),
+	)}
+	r3 := mustAnalyze(t, p3, cacheAssoc(4, 2))
+	if r3.Refs[3].Class == AlwaysHit {
+		t.Error("block 0 cannot be guaranteed after two younger conflicting fetches")
+	}
+}
+
+func TestAssociativityMonotonicity(t *testing.T) {
+	// At a fixed number of sets, growing associativity can only reduce
+	// the exact miss bound and grow the persistent footprint.
+	gen := program.DefaultGenConfig()
+	for seed := int64(0); seed < 40; seed++ {
+		p := program.Generate("rand", gen, rand.New(rand.NewSource(seed)))
+		prevMD := int64(1 << 60)
+		prevPCB := -1
+		for _, ways := range []int{1, 2, 4} {
+			r := mustAnalyze(t, p, cacheAssoc(8, ways))
+			if r.MDExact > prevMD {
+				t.Fatalf("seed %d: MDExact grew from %d to %d at %d ways", seed, prevMD, r.MDExact, ways)
+			}
+			if r.PCB.Count() < prevPCB {
+				t.Fatalf("seed %d: |PCB| shrank from %d to %d at %d ways", seed, prevPCB, r.PCB.Count(), ways)
+			}
+			prevMD, prevPCB = r.MDExact, r.PCB.Count()
+		}
+	}
+}
+
+func TestSoundnessRandomProgramsAssociative(t *testing.T) {
+	// The analysis-vs-simulation cross-check of the direct-mapped suite,
+	// repeated for LRU associativities 2 and 4.
+	gen := program.DefaultGenConfig()
+	gen.MaxLoopBound = 6
+	for seed := int64(0); seed < 60; seed++ {
+		p := program.Generate("rand", gen, rand.New(rand.NewSource(seed)))
+		if p.DynamicRefs() > 100000 {
+			continue
+		}
+		for _, cc := range []taskmodel.CacheConfig{cacheAssoc(4, 2), cacheAssoc(8, 2), cacheAssoc(4, 4)} {
+			r, err := Analyze(p, cc)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			cold := cachesim.New(cc)
+			if m := simulateJob(p, cold); m > r.MDExact {
+				t.Fatalf("seed %d %d-way: cold misses %d > MDExact %d", seed, cc.Ways(), m, r.MDExact)
+			}
+			if m := simulateJob(p, cold); m > r.MDrExact {
+				t.Fatalf("seed %d %d-way: warm misses %d > MDrExact %d", seed, cc.Ways(), m, r.MDrExact)
+			}
+			warm := cachesim.New(cc)
+			for _, b := range r.PCBBlocks {
+				warm.Install(b)
+			}
+			if m := simulateJob(p, warm); m > r.MDrExact {
+				t.Fatalf("seed %d %d-way: preloaded misses %d > MDrExact %d", seed, cc.Ways(), m, r.MDrExact)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package staticwcet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/program"
+	"repro/internal/taskmodel"
+)
+
+func TestHierarchyStraightLineReuse(t *testing.T) {
+	// Blocks 0 and 4 conflict in a 4-set L1 but coexist in a 16-set L2:
+	// the second round of references misses L1 but hits L2, so only the
+	// first two references reach the bus.
+	p := &program.Program{Name: "hier", Root: program.S(
+		program.R(0, 1), program.R(4, 1), program.R(0, 1), program.R(4, 1),
+	)}
+	h, err := AnalyzeHierarchy(p, cache(4), cache(16))
+	if err != nil {
+		t.Fatalf("AnalyzeHierarchy: %v", err)
+	}
+	if h.L1Misses != 4 {
+		t.Errorf("L1Misses = %d, want 4", h.L1Misses)
+	}
+	if h.MD != 2 {
+		t.Errorf("MD = %d, want 2 (bus sees only the cold L2 misses)", h.MD)
+	}
+	if h.MDr != 0 {
+		t.Errorf("MDr = %d, want 0 (both blocks L2-persistent)", h.MDr)
+	}
+	if h.PCB.Count() != 2 || !h.PCB.Equal(h.ECB) {
+		t.Errorf("L2 PCB = %v of ECB %v, want full persistence", h.PCB, h.ECB)
+	}
+	if h.UCB.Count() != 2 {
+		t.Errorf("L2 UCB = %v, want both sets (reuse at L2)", h.UCB)
+	}
+	// Single-level analysis has no L2 to absorb the conflicts.
+	single := mustAnalyze(t, p, cache(4))
+	if h.MD >= single.MD {
+		t.Errorf("hierarchy MD %d not below single-level %d", h.MD, single.MD)
+	}
+}
+
+func TestHierarchyL1HitsNeverReachL2(t *testing.T) {
+	// Straight-line double reference: second is an L1 always-hit, so L2
+	// sees exactly one access and the bus exactly one miss.
+	p := &program.Program{Name: "l1hit", Root: program.S(program.R(0, 1), program.R(0, 1))}
+	h, err := AnalyzeHierarchy(p, cache(4), cache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L1Misses != 1 || h.MD != 1 {
+		t.Errorf("L1Misses/MD = %d/%d, want 1/1", h.L1Misses, h.MD)
+	}
+}
+
+func TestHierarchyL1MissCountMatchesPessimisticMD(t *testing.T) {
+	gen := program.DefaultGenConfig()
+	for seed := int64(0); seed < 25; seed++ {
+		p := program.Generate("rand", gen, rand.New(rand.NewSource(seed)))
+		l1 := cache(8)
+		h, err := AnalyzeHierarchy(p, l1, cache(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := mustAnalyze(t, p, l1)
+		if h.L1Misses != single.MD {
+			t.Fatalf("seed %d: L1Misses %d != single-level pessimistic MD %d", seed, h.L1Misses, single.MD)
+		}
+		if h.MD > h.L1Misses {
+			t.Fatalf("seed %d: L2 misses %d exceed L1 misses %d", seed, h.MD, h.L1Misses)
+		}
+		if h.MDr > h.MD {
+			t.Fatalf("seed %d: MDr %d > MD %d", seed, h.MDr, h.MD)
+		}
+		if h.PD != single.PD {
+			t.Fatalf("seed %d: PD differs (%d vs %d)", seed, h.PD, single.PD)
+		}
+	}
+}
+
+func TestHierarchyErrors(t *testing.T) {
+	p := &program.Program{Name: "x", Root: program.R(0, 1)}
+	if _, err := AnalyzeHierarchy(p, cache(4), taskmodel.CacheConfig{NumSets: 8, BlockSizeBytes: 64}); err == nil {
+		t.Error("mismatched block sizes accepted")
+	}
+	if _, err := AnalyzeHierarchy(p, cache(4), taskmodel.CacheConfig{NumSets: 0, BlockSizeBytes: 32}); err == nil {
+		t.Error("zero-set L2 accepted")
+	}
+	bad := &program.Program{Name: "bad"}
+	if _, err := AnalyzeHierarchy(bad, cache(4), cache(8)); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+// simulateHierarchyJob runs one job through a functional two-level
+// hierarchy and counts bus accesses (L2 misses).
+func simulateHierarchyJob(p *program.Program, l1, l2 *cachesim.Cache) (l1Misses, busMisses int64) {
+	for _, step := range p.Trace(0) {
+		if l1.Lookup(step.Block) {
+			l1.Access(step.Block)
+			continue
+		}
+		l1Misses++
+		if !l2.Access(step.Block) {
+			busMisses++
+		}
+		l1.Install(step.Block)
+	}
+	return
+}
+
+func TestHierarchySoundnessRandomPrograms(t *testing.T) {
+	gen := program.DefaultGenConfig()
+	gen.MaxLoopBound = 6
+	for seed := int64(0); seed < 80; seed++ {
+		p := program.Generate("rand", gen, rand.New(rand.NewSource(seed)))
+		if p.DynamicRefs() > 100000 {
+			continue
+		}
+		for _, geo := range []struct{ l1, l2 taskmodel.CacheConfig }{
+			{cache(4), cache(16)},
+			{cache(8), cache(32)},
+			{cache(4), cacheAssoc(8, 2)},
+		} {
+			h, err := AnalyzeHierarchy(p, geo.l1, geo.l2)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, taken := range []bool{false, true} {
+				flipAlts(p.Root, taken)
+				l1 := cachesim.New(geo.l1)
+				l2 := cachesim.New(geo.l2)
+				l1m, bus := simulateHierarchyJob(p, l1, l2)
+				if l1m > h.L1Misses {
+					t.Fatalf("seed %d: simulated L1 misses %d > bound %d", seed, l1m, h.L1Misses)
+				}
+				if bus > h.MDExact {
+					t.Fatalf("seed %d: simulated bus misses %d > MDExact %d", seed, bus, h.MDExact)
+				}
+				if h.MDExact > h.MD || h.MDrExact > h.MDr {
+					t.Fatalf("seed %d: exact accounting looser than paper accounting", seed)
+				}
+				// Warm L2 (PCBs preloaded): bounded by MDr.
+				l1w := cachesim.New(geo.l1)
+				l2w := cachesim.New(geo.l2)
+				for _, b := range h.PCBBlocks {
+					l2w.Install(b)
+				}
+				if _, busW := simulateHierarchyJob(p, l1w, l2w); busW > h.MDrExact {
+					t.Fatalf("seed %d: warm bus misses %d > MDrExact %d", seed, busW, h.MDrExact)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package staticwcet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cacheset"
+	"repro/internal/cachesim"
+	"repro/internal/program"
+	"repro/internal/taskmodel"
+)
+
+func cache(nsets int) taskmodel.CacheConfig {
+	return taskmodel.CacheConfig{NumSets: nsets, BlockSizeBytes: 32}
+}
+
+func mustAnalyze(t *testing.T, p *program.Program, cfg taskmodel.CacheConfig) *Result {
+	t.Helper()
+	r, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", p.Name, err)
+	}
+	return r
+}
+
+func TestStraightLineNoConflicts(t *testing.T) {
+	p := &program.Program{Name: "straight", Root: program.Straight(0, 4, 3)}
+	r := mustAnalyze(t, p, cache(16))
+	if r.PD != 12 {
+		t.Errorf("PD = %d, want 12", r.PD)
+	}
+	if r.MD != 4 || r.MDExact != 4 {
+		t.Errorf("MD = %d/%d, want 4/4 (every block cold-misses once)", r.MD, r.MDExact)
+	}
+	if r.MDr != 0 || r.MDrExact != 0 {
+		t.Errorf("MDr = %d/%d, want 0/0 (all blocks persistent)", r.MDr, r.MDrExact)
+	}
+	if !r.ECB.Equal(cacheset.Of(16, 0, 1, 2, 3)) {
+		t.Errorf("ECB = %v, want {0,1,2,3}", r.ECB)
+	}
+	if !r.PCB.Equal(r.ECB) {
+		t.Errorf("PCB = %v, want ECB %v", r.PCB, r.ECB)
+	}
+	if !r.UCB.IsEmpty() {
+		t.Errorf("UCB = %v, want empty (no reuse)", r.UCB)
+	}
+	if got, want := r.PCBBlocks, []int{0, 1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("PCBBlocks = %v, want %v", got, want)
+	}
+}
+
+func TestLoopFirstMiss(t *testing.T) {
+	// for 10x { ref 0; ref 1 } — both blocks persistent in the loop.
+	p := &program.Program{Name: "loopfm", Root: program.L(10, program.R(0, 2), program.R(1, 2))}
+	r := mustAnalyze(t, p, cache(16))
+	if r.PD != 40 {
+		t.Errorf("PD = %d, want 40", r.PD)
+	}
+	// Paper accounting: no first-miss credit, so both blocks are
+	// charged on every iteration (this is the Heptane-style pessimism
+	// the persistence-aware analysis reclaims). Exact accounting: one
+	// first-miss per block.
+	if r.MD != 20 {
+		t.Errorf("MD = %d, want 20 (10 iterations x 2 blocks)", r.MD)
+	}
+	if r.MDExact != 2 {
+		t.Errorf("MDExact = %d, want 2 (one first-miss per block)", r.MDExact)
+	}
+	if r.MDr != 0 || r.MDrExact != 0 {
+		t.Errorf("MDr = %d/%d, want 0/0", r.MDr, r.MDrExact)
+	}
+	if !r.UCB.Equal(cacheset.Of(16, 0, 1)) {
+		t.Errorf("UCB = %v, want {0,1} (reused across iterations)", r.UCB)
+	}
+	// Classifications: both refs FirstMiss.
+	for i, rep := range r.Refs {
+		if rep.Class != FirstMiss {
+			t.Errorf("Refs[%d].Class = %v, want FM", i, rep.Class)
+		}
+	}
+}
+
+func TestConflictingLoopAlwaysMiss(t *testing.T) {
+	// Blocks 0 and 4 collide in a 4-set cache: thrashing loop.
+	p := &program.Program{Name: "thrash", Root: program.L(10, program.R(0, 1), program.R(4, 1))}
+	r := mustAnalyze(t, p, cache(4))
+	if r.MD != 20 || r.MDExact != 20 {
+		t.Errorf("MD = %d/%d, want 20/20 (both references always miss)", r.MD, r.MDExact)
+	}
+	if r.MDr != 20 || r.MDrExact != 20 {
+		t.Errorf("MDr = %d/%d, want 20/20 (no PCBs to preload)", r.MDr, r.MDrExact)
+	}
+	if !r.PCB.IsEmpty() {
+		t.Errorf("PCB = %v, want empty", r.PCB)
+	}
+	if !r.UCB.IsEmpty() {
+		t.Errorf("UCB = %v, want empty", r.UCB)
+	}
+	if !r.ECB.Equal(cacheset.Of(4, 0)) {
+		t.Errorf("ECB = %v, want {0}", r.ECB)
+	}
+}
+
+func TestSequentialReuseAlwaysHit(t *testing.T) {
+	p := &program.Program{Name: "reuse", Root: program.S(program.R(0, 1), program.R(0, 1))}
+	r := mustAnalyze(t, p, cache(4))
+	if r.MD != 1 {
+		t.Errorf("MD = %d, want 1", r.MD)
+	}
+	if r.Refs[0].Class != AlwaysMiss || r.Refs[1].Class != AlwaysHit {
+		t.Errorf("classes = %v,%v, want AM,AH", r.Refs[0].Class, r.Refs[1].Class)
+	}
+	if !r.UCB.Equal(cacheset.Of(4, 0)) {
+		t.Errorf("UCB = %v, want {0}", r.UCB)
+	}
+}
+
+func TestInterveningConflictKillsReuse(t *testing.T) {
+	// ref 0; ref 4 (same set); ref 0 — third reference cannot hit.
+	p := &program.Program{Name: "conflict", Root: program.S(program.R(0, 1), program.R(4, 1), program.R(0, 1))}
+	r := mustAnalyze(t, p, cache(4))
+	if r.MD != 3 {
+		t.Errorf("MD = %d, want 3", r.MD)
+	}
+	if r.MDr != 3 {
+		t.Errorf("MDr = %d, want 3", r.MDr)
+	}
+	if !r.PCB.IsEmpty() {
+		t.Errorf("PCB = %v, want empty", r.PCB)
+	}
+}
+
+func TestNestedLoopQualifiesAtInnerLevel(t *testing.T) {
+	// outer 3x { inner 5x { ref 0 }; ref 4 } with a 4-set cache:
+	// block 0 is persistent only in the inner loop (block 4 conflicts in
+	// the outer), so it first-misses once per outer iteration.
+	p := &program.Program{Name: "nested", Root: program.L(3,
+		program.L(5, program.R(0, 1)),
+		program.R(4, 1),
+	)}
+	r := mustAnalyze(t, p, cache(4))
+	if r.MDExact != 6 {
+		t.Errorf("MDExact = %d, want 6 (3 first-misses of block 0 + 3 misses of block 4)", r.MDExact)
+	}
+	// Paper accounting charges block 0 on all 15 executions.
+	if r.MD != 18 {
+		t.Errorf("MD = %d, want 18", r.MD)
+	}
+	// Exact against simulation.
+	sim := cachesim.New(cache(4))
+	misses := 0
+	for _, step := range p.Trace(0) {
+		if !sim.Access(step.Block) {
+			misses++
+		}
+	}
+	if int64(misses) != r.MDExact {
+		t.Errorf("simulated misses = %d, static MDExact = %d; this program is exact", misses, r.MDExact)
+	}
+	if !r.UCB.Equal(cacheset.Of(4, 0)) {
+		t.Errorf("UCB = %v, want {0}", r.UCB)
+	}
+}
+
+func TestBlockCachedBeforeLoopIsAlwaysHitInside(t *testing.T) {
+	// ref 0; for 10x { ref 0 } — the loop body reference always hits.
+	p := &program.Program{Name: "prewarm", Root: program.S(program.R(0, 1), program.L(10, program.R(0, 1)))}
+	r := mustAnalyze(t, p, cache(4))
+	if r.MD != 1 {
+		t.Errorf("MD = %d, want 1", r.MD)
+	}
+	if r.Refs[1].Class != AlwaysHit {
+		t.Errorf("loop ref class = %v, want AH", r.Refs[1].Class)
+	}
+}
+
+func TestAltBothBranchesCounted(t *testing.T) {
+	p := &program.Program{Name: "alt", Root: program.S(
+		&program.Alt{A: program.S(program.R(0, 5)), B: program.S(program.R(1, 3))},
+		program.R(0, 1),
+	)}
+	r := mustAnalyze(t, p, cache(4))
+	// MD sums both branches (conservative) plus the trailing reference,
+	// which cannot be a guaranteed hit because branch B may have run.
+	if r.MD != 3 {
+		t.Errorf("MD = %d, want 3", r.MD)
+	}
+	// PD takes the heavier branch: max(5,3) + 1.
+	if r.PD != 6 {
+		t.Errorf("PD = %d, want 6", r.PD)
+	}
+	// Both blocks are persistent (distinct sets), so preloading removes
+	// all misses.
+	if r.MDr != 0 {
+		t.Errorf("MDr = %d, want 0", r.MDr)
+	}
+}
+
+func TestAltCommonPrefixHitAfterJoin(t *testing.T) {
+	// ref 0 before the branch; both branches reference it again: the
+	// post-branch reference is a guaranteed hit via the must-join.
+	p := &program.Program{Name: "altjoin", Root: program.S(
+		program.R(0, 1),
+		&program.Alt{A: program.S(program.R(0, 1)), B: program.S(program.R(0, 1))},
+		program.R(0, 1),
+	)}
+	r := mustAnalyze(t, p, cache(4))
+	if r.MD != 1 {
+		t.Errorf("MD = %d, want 1", r.MD)
+	}
+	for i := 1; i < len(r.Refs); i++ {
+		if r.Refs[i].Class != AlwaysHit {
+			t.Errorf("Refs[%d].Class = %v, want AH", i, r.Refs[i].Class)
+		}
+	}
+}
+
+func TestLoopFirstMissDedupAcrossOccurrences(t *testing.T) {
+	// Two syntactic references to block 0 inside one conflict-free loop
+	// charge only a single first-miss.
+	p := &program.Program{Name: "dedup", Root: program.L(7, program.R(0, 1), program.R(1, 1), program.R(0, 1))}
+	r := mustAnalyze(t, p, cache(8))
+	if r.MDExact != 2 {
+		t.Errorf("MDExact = %d, want 2", r.MDExact)
+	}
+	// The second occurrence of block 0 is a must-hit inside the body,
+	// so even the paper accounting charges only the first two refs.
+	if r.MD != 14 {
+		t.Errorf("MD = %d, want 14", r.MD)
+	}
+}
+
+func TestMDrEqualsMDMinusPCBsOnTypicalPrograms(t *testing.T) {
+	p := &program.Program{Name: "typ", Root: program.S(
+		program.Straight(0, 3, 1),
+		program.L(4, program.R(8, 1), program.R(9, 1)),
+	)}
+	r := mustAnalyze(t, p, cache(16))
+	if r.MDExact != 5 {
+		t.Errorf("MDExact = %d, want 5", r.MDExact)
+	}
+	if want := r.MDExact - int64(len(r.PCBBlocks)); r.MDrExact != want {
+		t.Errorf("MDrExact = %d, want MDExact-|PCB| = %d", r.MDrExact, want)
+	}
+	// The paper accounting is never tighter than the exact one.
+	if r.MD < r.MDExact || r.MDr < r.MDrExact {
+		t.Errorf("paper accounting (%d/%d) tighter than exact (%d/%d)", r.MD, r.MDr, r.MDExact, r.MDrExact)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	if _, err := Analyze(&program.Program{Name: "bad"}, cache(4)); err == nil {
+		t.Error("Analyze(nil root) = nil error")
+	}
+	p := &program.Program{Name: "ok", Root: program.R(0, 1)}
+	if _, err := Analyze(p, cache(0)); err == nil {
+		t.Error("Analyze(zero sets) = nil error")
+	}
+}
+
+func TestToTask(t *testing.T) {
+	p := &program.Program{Name: "t", Root: program.Straight(0, 2, 5)}
+	r := mustAnalyze(t, p, cache(8))
+	task := r.ToTask("bench", 1, 3, 1000, 900)
+	if task.Name != "bench" || task.Core != 1 || task.Priority != 3 ||
+		task.PD != r.PD || task.MD != r.MD || task.MDr != r.MDr ||
+		task.Period != 1000 || task.Deadline != 900 {
+		t.Errorf("ToTask = %+v", task)
+	}
+	if !task.ECB.Equal(r.ECB) || !task.PCB.Equal(r.PCB) || !task.UCB.Equal(r.UCB) {
+		t.Error("ToTask sets not propagated")
+	}
+}
+
+// --- soundness cross-checks against exact cache simulation ----------------
+
+// simulateJob runs one job of the program on the cache and returns the
+// miss count.
+func simulateJob(p *program.Program, c *cachesim.Cache) int64 {
+	var misses int64
+	for _, step := range p.Trace(0) {
+		if !c.Access(step.Block) {
+			misses++
+		}
+	}
+	return misses
+}
+
+func TestSoundnessRandomPrograms(t *testing.T) {
+	cfgs := []taskmodel.CacheConfig{cache(4), cache(8), cache(32)}
+	gen := program.DefaultGenConfig()
+	gen.MaxLoopBound = 6
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := program.Generate("rand", gen, rng)
+		if p.DynamicRefs() > 100000 {
+			continue
+		}
+		// Exercise both Alt paths: analysis must cover either.
+		for _, taken := range []bool{false, true} {
+			flipAlts(p.Root, taken)
+			for _, cc := range cfgs {
+				r, err := Analyze(p, cc)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if r.MDr > r.MD || r.MDrExact > r.MDExact {
+					t.Fatalf("seed %d cache %d: MDr exceeds MD", seed, cc.NumSets)
+				}
+				if r.MDExact > r.MD || r.MDrExact > r.MDr {
+					t.Fatalf("seed %d cache %d: exact accounting looser than paper accounting", seed, cc.NumSets)
+				}
+
+				cold := cachesim.New(cc)
+				m1 := simulateJob(p, cold)
+				if m1 > r.MDExact {
+					t.Fatalf("seed %d cache %d: simulated cold misses %d > MDExact %d", seed, cc.NumSets, m1, r.MDExact)
+				}
+				// Second job on the leftover cache state: bounded by the
+				// residual demand plus nothing — PCBs survive because only
+				// this task ran.
+				m2 := simulateJob(p, cold)
+				if m2 > r.MDrExact {
+					t.Fatalf("seed %d cache %d: second-job misses %d > MDrExact %d", seed, cc.NumSets, m2, r.MDrExact)
+				}
+
+				// PCB preload bound.
+				warm := cachesim.New(cc)
+				for _, b := range r.PCBBlocks {
+					warm.Install(b)
+				}
+				mw := simulateJob(p, warm)
+				if mw > r.MDrExact {
+					t.Fatalf("seed %d cache %d: preloaded misses %d > MDrExact %d", seed, cc.NumSets, mw, r.MDrExact)
+				}
+
+				// ECB covers every touched set.
+				touched := cachesim.New(cc)
+				simulateJob(p, touched)
+				if !touched.ResidentSets().SubsetOf(r.ECB) {
+					t.Fatalf("seed %d cache %d: simulation touched sets outside ECB", seed, cc.NumSets)
+				}
+			}
+		}
+	}
+}
+
+// flipAlts sets every Alt's Taken flag so traces exercise a chosen path.
+func flipAlts(n program.Node, taken bool) {
+	switch v := n.(type) {
+	case *program.Seq:
+		for _, it := range v.Items {
+			flipAlts(it, taken)
+		}
+	case *program.Loop:
+		flipAlts(v.Body, taken)
+	case *program.Alt:
+		v.Taken = taken
+		flipAlts(v.A, taken)
+		flipAlts(v.B, taken)
+	}
+}
+
+func TestPCBBlocksSurviveForeignEvictionModel(t *testing.T) {
+	// After evicting an arbitrary foreign ECB footprint, a re-run of the
+	// job must still be bounded by MDr + |PCB ∩ foreign|: only the PCBs
+	// whose sets were hit by the foreign footprint reload.
+	p := &program.Program{Name: "pcbsurvive", Root: program.S(
+		program.L(5, program.R(0, 1), program.R(1, 1)),
+		program.R(2, 1),
+	)}
+	cc := cache(8)
+	r := mustAnalyze(t, p, cc)
+	c := cachesim.New(cc)
+	simulateJob(p, c) // job 1 from cold
+
+	foreign := cacheset.Of(8, 1, 7) // evicts PCB in set 1 only
+	c.EvictAll(foreign)
+	m2 := simulateJob(p, c)
+	bound := r.MDrExact + int64(r.PCB.IntersectCount(foreign))
+	if m2 > bound {
+		t.Fatalf("misses after foreign eviction = %d > MDrExact + |PCB∩foreign| = %d", m2, bound)
+	}
+}

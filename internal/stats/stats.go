@@ -1,0 +1,87 @@
+// Package stats provides the evaluation metrics of the paper:
+// schedulability ratios and the weighted schedulability measure of
+// Bastoni, Brandenburg and Anderson used in Fig. 3.
+package stats
+
+import "math"
+
+// Observation is one analysed task set: its (per-core average)
+// utilization and the verdict of one analysis.
+type Observation struct {
+	Utilization float64
+	Schedulable bool
+}
+
+// WeightedSchedulability reduces observations across a utilization
+// sweep to a single number in [0,1]:
+//
+//	W(p) = Σ U(ts)·S(ts,p) / Σ U(ts)
+//
+// Higher-utilization task sets weigh more, so the measure rewards
+// analyses that keep heavy workloads schedulable. An empty input
+// yields 0.
+func WeightedSchedulability(obs []Observation) float64 {
+	var num, den float64
+	for _, o := range obs {
+		den += o.Utilization
+		if o.Schedulable {
+			num += o.Utilization
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Ratio returns the plain fraction of schedulable observations.
+func Ratio(obs []Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range obs {
+		if o.Schedulable {
+			n++
+		}
+	}
+	return float64(n) / float64(len(obs))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion: successes k out of n trials at confidence
+// parameter z (1.96 for 95%). It is well behaved at the extremes
+// (k = 0 or k = n), unlike the normal approximation, which matters for
+// schedulability curves that saturate at 0 and 1. n = 0 yields (0, 1).
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

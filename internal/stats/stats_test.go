@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestWeightedSchedulability(t *testing.T) {
+	obs := []Observation{
+		{Utilization: 0.2, Schedulable: true},
+		{Utilization: 0.8, Schedulable: false},
+	}
+	if got := WeightedSchedulability(obs); !approx(got, 0.2) {
+		t.Errorf("W = %g, want 0.2", got)
+	}
+	if got := WeightedSchedulability(nil); got != 0 {
+		t.Errorf("W(empty) = %g, want 0", got)
+	}
+	all := []Observation{{0.5, true}, {0.7, true}}
+	if got := WeightedSchedulability(all); !approx(got, 1) {
+		t.Errorf("W(all schedulable) = %g, want 1", got)
+	}
+}
+
+func TestWeightedFavoursHeavySets(t *testing.T) {
+	// Same ratio (1/2) but scheduling the heavy set scores higher.
+	heavyWins := []Observation{{0.9, true}, {0.1, false}}
+	lightWins := []Observation{{0.9, false}, {0.1, true}}
+	if WeightedSchedulability(heavyWins) <= WeightedSchedulability(lightWins) {
+		t.Error("weighted measure must favour schedulable heavy sets")
+	}
+	if Ratio(heavyWins) != Ratio(lightWins) {
+		t.Error("plain ratio should tie")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(nil); got != 0 {
+		t.Errorf("Ratio(empty) = %g", got)
+	}
+	obs := []Observation{{1, true}, {1, false}, {1, true}, {1, true}}
+	if got := Ratio(obs); !approx(got, 0.75) {
+		t.Errorf("Ratio = %g, want 0.75", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(empty) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); !approx(got, 2) {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+}
+
+func TestQuickWeightedBounds(t *testing.T) {
+	f := func(utils []float64, flags []bool) bool {
+		var obs []Observation
+		for i, u := range utils {
+			if i >= len(flags) {
+				break
+			}
+			u = math.Abs(u)
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				u = 0.5
+			}
+			// Normalise into a realistic utilization range so the sums
+			// stay finite regardless of what quick generates.
+			u = math.Mod(u, 8.0)
+			obs = append(obs, Observation{Utilization: u, Schedulable: flags[i]})
+		}
+		w := WeightedSchedulability(obs)
+		return w >= 0 && w <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("n=0 interval = [%g,%g], want [0,1]", lo, hi)
+	}
+	// Saturated proportions stay inside [0,1] and exclude neither
+	// endpoint unreasonably.
+	lo, hi = WilsonInterval(50, 50, 1.96)
+	if hi != 1 || lo < 0.9 {
+		t.Errorf("k=n interval = [%g,%g]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 50, 1.96)
+	if lo != 0 || hi > 0.1 {
+		t.Errorf("k=0 interval = [%g,%g]", lo, hi)
+	}
+	// Interval contains the point estimate and tightens with n.
+	lo1, hi1 := WilsonInterval(30, 60, 1.96)
+	lo2, hi2 := WilsonInterval(300, 600, 1.96)
+	if !(lo1 < 0.5 && 0.5 < hi1) {
+		t.Errorf("interval [%g,%g] does not contain 0.5", lo1, hi1)
+	}
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not tighten: n=60 width %g, n=600 width %g", hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestQuickWilsonBounds(t *testing.T) {
+	f := func(kRaw, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		k := int(kRaw) % (n + 1)
+		lo, hi := WilsonInterval(k, n, 1.96)
+		p := float64(k) / float64(n)
+		return lo >= 0 && hi <= 1 && lo <= p+1e-12 && p <= hi+1e-12 && lo <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

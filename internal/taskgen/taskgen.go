@@ -1,0 +1,223 @@
+// Package taskgen synthesises random task sets the way the paper's
+// evaluation does: per-core utilizations drawn with UUnifast, task
+// parameters assigned from randomly chosen benchmarks of the suite,
+// implicit deadlines T = D = (PD + MD·d_mem)/U, and deadline-monotonic
+// priority assignment over unique global priorities.
+package taskgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/benchsuite"
+	"repro/internal/cacheset"
+	"repro/internal/taskmodel"
+)
+
+// TaskParams are the per-benchmark parameters a generated task copies.
+type TaskParams struct {
+	Name          string
+	PD            taskmodel.Time
+	MD, MDr       int64
+	UCB, ECB, PCB cacheset.Set
+}
+
+// PoolFromSuite extracts the whole benchmark suite at the given cache
+// geometry and packages it as a generation pool.
+func PoolFromSuite(cache taskmodel.CacheConfig) ([]TaskParams, error) {
+	ps, err := benchsuite.ExtractAll(cache)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]TaskParams, 0, len(ps))
+	for _, p := range ps {
+		r := p.Result
+		pool = append(pool, TaskParams{
+			Name: p.Name, PD: r.PD, MD: r.MD, MDr: r.MDr,
+			UCB: r.UCB, ECB: r.ECB, PCB: r.PCB,
+		})
+	}
+	return pool, nil
+}
+
+// PeriodMode selects how task periods are derived.
+type PeriodMode int
+
+const (
+	// PeriodFromDemand is the paper's scheme: T = D =
+	// (PD + MD·d_mem)/U with the benchmark demand kept verbatim.
+	PeriodFromDemand PeriodMode = iota
+	// PeriodLogUniform draws T = D log-uniformly from [PeriodMin,
+	// PeriodMax] (Davis & Burns style) and scales the benchmark's
+	// demand to C = U·T, keeping the cache footprints. It exists to
+	// check that the evaluation's conclusions do not hinge on the
+	// paper's period derivation.
+	PeriodLogUniform
+)
+
+func (m PeriodMode) String() string {
+	switch m {
+	case PeriodFromDemand:
+		return "demand-derived"
+	case PeriodLogUniform:
+		return "log-uniform"
+	default:
+		return fmt.Sprintf("PeriodMode(%d)", int(m))
+	}
+}
+
+// Config parameterises task-set generation. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Platform describes the target hardware; its cache geometry must
+	// match the pool the parameters were extracted at.
+	Platform taskmodel.Platform
+	// TasksPerCore is the number of tasks partitioned onto each core
+	// (8 in the paper's default setup).
+	TasksPerCore int
+	// CoreUtilization is the per-core utilization target handed to
+	// UUnifast (equal for each core, as in the paper).
+	CoreUtilization float64
+	// Periods selects the period derivation (PeriodFromDemand is the
+	// paper's default).
+	Periods PeriodMode
+	// PeriodMin/PeriodMax bound the log-uniform draw (defaults
+	// 10_000 and 10_000_000 cycles). Ignored by PeriodFromDemand.
+	PeriodMin, PeriodMax taskmodel.Time
+}
+
+// DefaultConfig returns the paper's default setup: 4 cores, 8 tasks
+// per core, a 256-set 32-byte-block cache, d_mem = 5 and slot size 2.
+func DefaultConfig() Config {
+	return Config{
+		Platform: taskmodel.Platform{
+			NumCores: 4,
+			Cache:    taskmodel.CacheConfig{NumSets: 256, BlockSizeBytes: 32},
+			DMem:     5,
+			SlotSize: 2,
+		},
+		TasksPerCore:    8,
+		CoreUtilization: 0.5,
+	}
+}
+
+// UUnifast draws n utilizations summing exactly to u, uniformly over
+// the valid simplex (Bini & Buttazzo).
+func UUnifast(n int, u float64, rng *rand.Rand) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1.0/float64(n-1-i))
+		out[i] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}
+
+// Generate builds one random task set. Each task copies the
+// parameters of a uniformly chosen pool benchmark; its period and
+// (implicit) deadline derive from its UUnifast utilization share via
+// T = D = (PD + MD·d_mem)/U; priorities are deadline monotonic with
+// deterministic tie-breaking.
+func Generate(cfg Config, pool []TaskParams, rng *rand.Rand) (*taskmodel.TaskSet, error) {
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TasksPerCore < 1 {
+		return nil, fmt.Errorf("taskgen: TasksPerCore = %d, need >= 1", cfg.TasksPerCore)
+	}
+	if cfg.CoreUtilization <= 0 {
+		return nil, fmt.Errorf("taskgen: CoreUtilization = %g, need > 0", cfg.CoreUtilization)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("taskgen: empty benchmark pool")
+	}
+	nsets := cfg.Platform.Cache.NumSets
+	for _, p := range pool {
+		if p.ECB.Capacity() != nsets {
+			return nil, fmt.Errorf("taskgen: pool entry %q extracted at %d sets, platform has %d",
+				p.Name, p.ECB.Capacity(), nsets)
+		}
+	}
+
+	pmin, pmax := cfg.PeriodMin, cfg.PeriodMax
+	if pmin <= 0 {
+		pmin = 10_000
+	}
+	if pmax <= pmin {
+		pmax = 10_000_000
+	}
+
+	var tasks []*taskmodel.Task
+	for core := 0; core < cfg.Platform.NumCores; core++ {
+		utils := UUnifast(cfg.TasksPerCore, cfg.CoreUtilization, rng)
+		for _, u := range utils {
+			p := pool[rng.Intn(len(pool))]
+			demand := p.PD + taskmodel.Time(p.MD)*cfg.Platform.DMem
+			var task *taskmodel.Task
+			switch cfg.Periods {
+			case PeriodLogUniform:
+				// T log-uniform; scale the benchmark demand to C = U·T,
+				// preserving its PD:MD split and cache footprints.
+				period := taskmodel.Time(math.Exp(
+					math.Log(float64(pmin)) + rng.Float64()*(math.Log(float64(pmax))-math.Log(float64(pmin)))))
+				scale := u * float64(period) / float64(demand)
+				pd := taskmodel.Time(math.Round(float64(p.PD) * scale))
+				md := int64(math.Round(float64(p.MD) * scale))
+				mdr := int64(math.Round(float64(p.MDr) * scale))
+				if mdr > md {
+					mdr = md
+				}
+				if pd < 1 {
+					pd = 1
+				}
+				if scaled := pd + taskmodel.Time(md)*cfg.Platform.DMem; period < scaled {
+					period = scaled
+				}
+				task = &taskmodel.Task{
+					Name: p.Name, Core: core,
+					PD: pd, MD: md, MDr: mdr,
+					Period: period, Deadline: period,
+					UCB: p.UCB, ECB: p.ECB, PCB: p.PCB,
+				}
+			default: // PeriodFromDemand, the paper's scheme
+				period := taskmodel.Time(math.Ceil(float64(demand) / u))
+				if period < demand {
+					period = demand
+				}
+				task = &taskmodel.Task{
+					Name: p.Name, Core: core,
+					PD: p.PD, MD: p.MD, MDr: p.MDr,
+					Period: period, Deadline: period,
+					UCB: p.UCB, ECB: p.ECB, PCB: p.PCB,
+				}
+			}
+			tasks = append(tasks, task)
+		}
+	}
+
+	// Deadline-monotonic priorities, ties broken by generation order so
+	// the assignment is deterministic and priorities are unique.
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tasks[order[a]].Deadline < tasks[order[b]].Deadline
+	})
+	for prio, idx := range order {
+		tasks[idx].Priority = prio
+	}
+
+	ts := taskmodel.NewTaskSet(cfg.Platform, tasks)
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("taskgen: generated invalid task set: %w", err)
+	}
+	return ts, nil
+}

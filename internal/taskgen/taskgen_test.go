@@ -1,0 +1,232 @@
+package taskgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUUnifastSumAndRange(t *testing.T) {
+	f := func(seed int64, nRaw uint8, uRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		u := float64(uRaw%100)/100.0 + 0.01
+		us := UUnifast(n, u, rng)
+		if len(us) != n {
+			return false
+		}
+		sum := 0.0
+		for _, v := range us {
+			if v < 0 || v > u+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-u) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUUnifastDegenerate(t *testing.T) {
+	if got := UUnifast(0, 1, rand.New(rand.NewSource(1))); got != nil {
+		t.Errorf("UUnifast(0) = %v, want nil", got)
+	}
+	got := UUnifast(1, 0.7, rand.New(rand.NewSource(1)))
+	if len(got) != 1 || math.Abs(got[0]-0.7) > 1e-12 {
+		t.Errorf("UUnifast(1, 0.7) = %v", got)
+	}
+}
+
+func defaultPool(t *testing.T) []TaskParams {
+	t.Helper()
+	pool, err := PoolFromSuite(DefaultConfig().Platform.Cache)
+	if err != nil {
+		t.Fatalf("PoolFromSuite: %v", err)
+	}
+	return pool
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	pool := defaultPool(t)
+	ts, err := Generate(cfg, pool, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if got := len(ts.Tasks); got != 32 {
+		t.Fatalf("task count = %d, want 32", got)
+	}
+	for core := 0; core < 4; core++ {
+		if got := len(ts.OnCore(core)); got != 8 {
+			t.Errorf("core %d holds %d tasks, want 8", core, got)
+		}
+	}
+	if err := ts.Validate(); err != nil {
+		t.Errorf("generated set invalid: %v", err)
+	}
+	// Deadline-monotonic: priorities sorted by deadline.
+	for i := 1; i < len(ts.Tasks); i++ {
+		if ts.Tasks[i-1].Deadline > ts.Tasks[i].Deadline {
+			t.Errorf("priority order violates deadline monotonic at %d", i)
+		}
+	}
+}
+
+func TestGenerateUtilizationTracksTarget(t *testing.T) {
+	cfg := DefaultConfig()
+	pool := defaultPool(t)
+	for _, u := range []float64{0.1, 0.3, 0.6, 0.9} {
+		cfg.CoreUtilization = u
+		ts, err := Generate(cfg, pool, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("Generate(u=%g): %v", u, err)
+		}
+		for core := 0; core < cfg.Platform.NumCores; core++ {
+			got := ts.CoreUtilization(core)
+			// Ceiling of the period can only lower utilization; the
+			// demand floor can push tiny-utilization tasks up, but at
+			// these targets the aggregate must sit within a few percent.
+			if got > u+1e-9 || got < u*0.9 {
+				t.Errorf("u=%g core %d: utilization = %g, want ~%g", u, core, got, u)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	pool := defaultPool(t)
+	a, err := Generate(cfg, pool, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, pool, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tasks {
+		x, y := a.Tasks[i], b.Tasks[i]
+		if x.Name != y.Name || x.Core != y.Core || x.Period != y.Period || x.Priority != y.Priority {
+			t.Fatalf("task %d differs across identical seeds: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	pool := defaultPool(t)
+
+	bad := cfg
+	bad.TasksPerCore = 0
+	if _, err := Generate(bad, pool, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("TasksPerCore=0 accepted")
+	}
+
+	bad = cfg
+	bad.CoreUtilization = 0
+	if _, err := Generate(bad, pool, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("CoreUtilization=0 accepted")
+	}
+
+	if _, err := Generate(cfg, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty pool accepted")
+	}
+
+	// Pool extracted at a different geometry than the platform.
+	bad = cfg
+	bad.Platform.Cache.NumSets = 128
+	if _, err := Generate(bad, pool, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+
+	bad = cfg
+	bad.Platform.NumCores = 0
+	if _, err := Generate(bad, pool, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid platform accepted")
+	}
+}
+
+func TestGenerateConstrainedDeadlines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoreUtilization = 0.95
+	pool := defaultPool(t)
+	for seed := int64(0); seed < 20; seed++ {
+		ts, err := Generate(cfg, pool, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, task := range ts.Tasks {
+			if task.Deadline != task.Period {
+				t.Errorf("seed %d: task %q D=%d != T=%d (implicit deadlines expected)",
+					seed, task.Name, task.Deadline, task.Period)
+			}
+			demand := task.PD + task.MD*ts.Platform.DMem
+			if task.Period < demand {
+				t.Errorf("seed %d: task %q period %d below demand %d", seed, task.Name, task.Period, demand)
+			}
+		}
+	}
+}
+
+func TestPeriodModeStrings(t *testing.T) {
+	if PeriodFromDemand.String() != "demand-derived" || PeriodLogUniform.String() != "log-uniform" {
+		t.Error("PeriodMode strings wrong")
+	}
+	if PeriodMode(9).String() != "PeriodMode(9)" {
+		t.Error("unknown PeriodMode string wrong")
+	}
+}
+
+func TestGenerateLogUniformPeriods(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Periods = PeriodLogUniform
+	cfg.PeriodMin = 20_000
+	cfg.PeriodMax = 2_000_000
+	cfg.CoreUtilization = 0.4
+	pool := defaultPool(t)
+	var periods []float64
+	for seed := int64(0); seed < 10; seed++ {
+		ts, err := Generate(cfg, pool, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, task := range ts.Tasks {
+			// The demand floor may push a period above PeriodMin's draw,
+			// but never below the minimum or absurdly beyond the maximum.
+			if task.Period < cfg.PeriodMin {
+				t.Fatalf("seed %d: period %d below min %d", seed, task.Period, cfg.PeriodMin)
+			}
+			periods = append(periods, float64(task.Period))
+			if task.MDr > task.MD {
+				t.Fatalf("seed %d: scaled MDr %d > MD %d", seed, task.MDr, task.MD)
+			}
+		}
+		// Utilization still tracks the target reasonably (scaling is
+		// rounded, so allow a wider band than the demand-derived mode).
+		for core := 0; core < cfg.Platform.NumCores; core++ {
+			u := ts.CoreUtilization(core)
+			if u < 0.25 || u > 0.55 {
+				t.Fatalf("seed %d core %d: utilization %g far from 0.4", seed, core, u)
+			}
+		}
+	}
+	// Log-uniform spread: a decent fraction below 200k and above 200k
+	// (geometric mean of the range).
+	low, high := 0, 0
+	for _, p := range periods {
+		if p < 200_000 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("periods not spread across the log range: %d low, %d high", low, high)
+	}
+}

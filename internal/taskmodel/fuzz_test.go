@@ -1,0 +1,46 @@
+package taskmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the task-set decoder never panics and that any
+// set it accepts validates and survives a re-encoding round trip.
+func FuzzReadJSON(f *testing.F) {
+	valid := `{"platform":{"NumCores":1,"Cache":{"NumSets":4,"BlockSizeBytes":32},"DMem":5,"SlotSize":1},
+	 "tasks":[{"name":"x","core":0,"priority":0,"pd":1,"md":2,"mdr":1,"period":10,"deadline":10,
+	  "ucb":[],"ecb":[1,2],"pcb":[1]}]}`
+	f.Add(valid)
+	f.Add(`{}`)
+	f.Add(`{"platform":{"NumCores":-1}}`)
+	f.Add(`{"platform":{"NumCores":1,"Cache":{"NumSets":4,"BlockSizeBytes":32},"DMem":5,"SlotSize":1},
+	 "tasks":[{"name":"x","core":9,"priority":0,"pd":1,"md":2,"mdr":1,"period":10,"deadline":10,
+	  "ucb":[],"ecb":[],"pcb":[]}]}`)
+	f.Add(`{"platform":{"NumCores":1,"Cache":{"NumSets":4,"BlockSizeBytes":32},"DMem":5,"SlotSize":1},
+	 "tasks":[{"name":"x","core":0,"priority":0,"pd":1,"md":2,"mdr":1,"period":10,"deadline":10,
+	  "ucb":[],"ecb":[99],"pcb":[]}]}`)
+	f.Add(`[`)
+	f.Fuzz(func(t *testing.T, src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decoder panicked: %v", r)
+			}
+		}()
+		ts, err := ReadJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("accepted set fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ts.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted set fails re-encoding: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("re-encoded set rejected: %v", err)
+		}
+	})
+}

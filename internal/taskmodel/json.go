@@ -1,0 +1,92 @@
+package taskmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cacheset"
+)
+
+// taskJSON is the on-disk representation of a Task; cache sets are
+// stored as sorted index lists.
+type taskJSON struct {
+	Name     string `json:"name"`
+	Core     int    `json:"core"`
+	Priority int    `json:"priority"`
+	PD       Time   `json:"pd"`
+	MD       int64  `json:"md"`
+	MDr      int64  `json:"mdr"`
+	Period   Time   `json:"period"`
+	Deadline Time   `json:"deadline"`
+	UCB      []int  `json:"ucb"`
+	ECB      []int  `json:"ecb"`
+	PCB      []int  `json:"pcb"`
+}
+
+// taskSetJSON is the on-disk representation of a TaskSet.
+type taskSetJSON struct {
+	Platform Platform   `json:"platform"`
+	Tasks    []taskJSON `json:"tasks"`
+}
+
+// WriteJSON encodes the task set for storage or exchange between the
+// generator and analyzer CLIs.
+func (ts *TaskSet) WriteJSON(w io.Writer) error {
+	out := taskSetJSON{Platform: ts.Platform}
+	for _, t := range ts.Tasks {
+		out.Tasks = append(out.Tasks, taskJSON{
+			Name: t.Name, Core: t.Core, Priority: t.Priority,
+			PD: t.PD, MD: t.MD, MDr: t.MDr,
+			Period: t.Period, Deadline: t.Deadline,
+			UCB: t.UCB.Indices(), ECB: t.ECB.Indices(), PCB: t.PCB.Indices(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON decodes a task set written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*TaskSet, error) {
+	var in taskSetJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("taskmodel: decoding task set: %w", err)
+	}
+	n := in.Platform.Cache.NumSets
+	if err := in.Platform.Validate(); err != nil {
+		return nil, fmt.Errorf("taskmodel: invalid task set: %w", err)
+	}
+	checkIdx := func(name, field string, idx []int) error {
+		for _, i := range idx {
+			if i < 0 || i >= n {
+				return fmt.Errorf("taskmodel: task %q: %s index %d out of range [0,%d)", name, field, i, n)
+			}
+		}
+		return nil
+	}
+	tasks := make([]*Task, 0, len(in.Tasks))
+	for _, tj := range in.Tasks {
+		for _, f := range []struct {
+			field string
+			idx   []int
+		}{{"ucb", tj.UCB}, {"ecb", tj.ECB}, {"pcb", tj.PCB}} {
+			if err := checkIdx(tj.Name, f.field, f.idx); err != nil {
+				return nil, err
+			}
+		}
+		tasks = append(tasks, &Task{
+			Name: tj.Name, Core: tj.Core, Priority: tj.Priority,
+			PD: tj.PD, MD: tj.MD, MDr: tj.MDr,
+			Period: tj.Period, Deadline: tj.Deadline,
+			UCB: cacheset.FromSorted(n, tj.UCB),
+			ECB: cacheset.FromSorted(n, tj.ECB),
+			PCB: cacheset.FromSorted(n, tj.PCB),
+		})
+	}
+	ts := NewTaskSet(in.Platform, tasks)
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("taskmodel: invalid task set: %w", err)
+	}
+	return ts, nil
+}

@@ -1,0 +1,340 @@
+// Package taskmodel defines the system model of the paper: a multicore
+// platform of identical timing-compositional cores with private
+// direct-mapped instruction caches connected to main memory by a shared
+// bus, and a set of sporadic constrained-deadline tasks scheduled by
+// partitioned task-level fixed-priority preemptive scheduling.
+//
+// Each task τ_i is the quadruple (PD_i, MD_i, D_i, T_i) of the paper,
+// extended with the cache footprint sets UCB_i, ECB_i and PCB_i and the
+// residual memory demand MD_i^r used by the persistence-aware analysis.
+package taskmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cacheset"
+)
+
+// Time is the abstract time unit of the model ("cycles"). PD, T, D, R
+// and d_mem are all expressed in this unit, while MD and MD^r are counts
+// of bus accesses.
+type Time = int64
+
+// CacheConfig describes one core-private instruction cache. The paper
+// analyses direct-mapped caches (Associativity 1); the LRU
+// set-associative generalisation is provided as an extension for the
+// cache simulator and the static analysis (see DESIGN.md §5).
+type CacheConfig struct {
+	// NumSets is the number of cache sets. The paper's default
+	// platform uses 256 sets.
+	NumSets int
+	// BlockSizeBytes is the cache block (line) size; 32 bytes in the
+	// paper. It only matters when deriving cache sets from instruction
+	// addresses.
+	BlockSizeBytes int
+	// Associativity is the number of ways per set under LRU
+	// replacement. Zero means 1 (direct-mapped, the paper's model).
+	Associativity int
+}
+
+// Ways returns the effective associativity (at least 1).
+func (c CacheConfig) Ways() int {
+	if c.Associativity < 1 {
+		return 1
+	}
+	return c.Associativity
+}
+
+// SetOf maps a memory-block index (address / BlockSizeBytes) to its
+// cache set under direct mapping.
+func (c CacheConfig) SetOf(block int) int {
+	if c.NumSets <= 0 {
+		panic("taskmodel: CacheConfig.NumSets must be positive")
+	}
+	return block % c.NumSets
+}
+
+// Platform is the multicore platform under analysis.
+type Platform struct {
+	// NumCores is m, the number of identical cores π_1..π_m.
+	NumCores int
+	// Cache is the geometry of every core's private L1 instruction
+	// cache.
+	Cache CacheConfig
+	// DMem is d_mem, the worst-case duration of one access to main
+	// memory over the shared bus.
+	DMem Time
+	// SlotSize is s, the number of memory access slots per core for the
+	// RR and TDMA arbiters (default 2 in the paper). Ignored by the FP
+	// bus.
+	SlotSize int
+	// L2 optionally adds a private second-level cache per core
+	// (NumSets 0 disables it — the paper's single-level model). Only
+	// the simulator and the hierarchy analysis consume it; the bus
+	// contention equations see its misses as MD.
+	L2 CacheConfig
+	// DL2 is the L1-miss/L2-hit latency in cycles (local to the core,
+	// no bus involvement). Required >= 1 when L2 is present.
+	DL2 Time
+}
+
+// HasL2 reports whether the platform models a second cache level.
+func (p Platform) HasL2() bool { return p.L2.NumSets > 0 }
+
+// Validate reports the first structural problem with the platform.
+func (p Platform) Validate() error {
+	if p.NumCores < 1 {
+		return fmt.Errorf("platform: NumCores = %d, need >= 1", p.NumCores)
+	}
+	if p.Cache.NumSets < 1 {
+		return fmt.Errorf("platform: cache NumSets = %d, need >= 1", p.Cache.NumSets)
+	}
+	if p.Cache.BlockSizeBytes < 1 {
+		return fmt.Errorf("platform: cache BlockSizeBytes = %d, need >= 1", p.Cache.BlockSizeBytes)
+	}
+	if p.DMem < 1 {
+		return fmt.Errorf("platform: DMem = %d, need >= 1", p.DMem)
+	}
+	if p.SlotSize < 1 {
+		return fmt.Errorf("platform: SlotSize = %d, need >= 1", p.SlotSize)
+	}
+	if p.HasL2() {
+		if p.L2.BlockSizeBytes != p.Cache.BlockSizeBytes {
+			return fmt.Errorf("platform: L2 block %dB != L1 block %dB", p.L2.BlockSizeBytes, p.Cache.BlockSizeBytes)
+		}
+		if p.DL2 < 1 {
+			return fmt.Errorf("platform: DL2 = %d, need >= 1 with an L2", p.DL2)
+		}
+	}
+	return nil
+}
+
+// Task is one sporadic constrained-deadline task.
+type Task struct {
+	// Name is a human-readable label (e.g. the benchmark the parameters
+	// were extracted from).
+	Name string
+	// Core is the index of the core the task is statically assigned to
+	// (partitioned scheduling), in [0, NumCores).
+	Core int
+	// Priority is the unique global priority; smaller means higher
+	// priority, so the task with Priority 0 is τ_1 of the paper.
+	Priority int
+
+	// PD is the worst-case execution demand of one job assuming every
+	// memory access hits in the cache.
+	PD Time
+	// MD is the worst-case number of main-memory requests of one job
+	// executing in isolation from a cold cache.
+	MD int64
+	// MDr is MD^r: the worst-case number of main-memory requests of a
+	// job assuming all PCBs are already cached.
+	MDr int64
+	// Period is T_i, the minimum inter-arrival time.
+	Period Time
+	// Deadline is D_i, the relative deadline (constrained: D <= T).
+	Deadline Time
+
+	// UCB is the set of cache sets holding useful cache blocks of the
+	// task (blocks that may be reused at a later program point).
+	UCB cacheset.Set
+	// ECB is the set of cache sets touched by the task at all.
+	ECB cacheset.Set
+	// PCB is the set of cache sets holding persistent cache blocks:
+	// blocks that, once loaded, the task never evicts itself.
+	PCB cacheset.Set
+}
+
+// Utilization returns the fraction of one core the task consumes,
+// counting both execution and memory time at access cost dmem:
+// (PD + MD*dmem) / T.
+func (t *Task) Utilization(dmem Time) float64 {
+	return float64(t.PD+Time(t.MD)*dmem) / float64(t.Period)
+}
+
+// TaskSet couples a platform with the tasks partitioned onto it. Tasks
+// holds every task in the system, ordered by ascending Priority value
+// (highest priority first); OnCore gives per-core views.
+type TaskSet struct {
+	Platform Platform
+	Tasks    []*Task
+}
+
+// NewTaskSet sorts the given tasks by priority and wraps them with the
+// platform. The slice is taken over by the task set.
+func NewTaskSet(p Platform, tasks []*Task) *TaskSet {
+	sort.SliceStable(tasks, func(a, b int) bool { return tasks[a].Priority < tasks[b].Priority })
+	return &TaskSet{Platform: p, Tasks: tasks}
+}
+
+// Validate reports the first inconsistency: bad platform, duplicate
+// priorities, out-of-range cores, deadlines beyond periods, memory
+// demands violating MD^r <= MD, PCB not a subset of ECB, or cache-set
+// capacities not matching the platform geometry.
+func (ts *TaskSet) Validate() error {
+	if err := ts.Platform.Validate(); err != nil {
+		return err
+	}
+	seen := make(map[int]string, len(ts.Tasks))
+	for _, t := range ts.Tasks {
+		if prev, dup := seen[t.Priority]; dup {
+			return fmt.Errorf("task %q: priority %d already used by %q", t.Name, t.Priority, prev)
+		}
+		seen[t.Priority] = t.Name
+		if t.Core < 0 || t.Core >= ts.Platform.NumCores {
+			return fmt.Errorf("task %q: core %d out of range [0,%d)", t.Name, t.Core, ts.Platform.NumCores)
+		}
+		if t.PD < 0 || t.MD < 0 || t.MDr < 0 {
+			return fmt.Errorf("task %q: negative demand (PD=%d MD=%d MDr=%d)", t.Name, t.PD, t.MD, t.MDr)
+		}
+		if t.MDr > t.MD {
+			return fmt.Errorf("task %q: MDr=%d exceeds MD=%d", t.Name, t.MDr, t.MD)
+		}
+		if t.Period <= 0 {
+			return fmt.Errorf("task %q: period %d, need > 0", t.Name, t.Period)
+		}
+		if t.Deadline <= 0 || t.Deadline > t.Period {
+			return fmt.Errorf("task %q: deadline %d not in (0, T=%d]", t.Name, t.Deadline, t.Period)
+		}
+		n := ts.Platform.Cache.NumSets
+		for _, s := range []struct {
+			name string
+			set  cacheset.Set
+		}{{"UCB", t.UCB}, {"ECB", t.ECB}, {"PCB", t.PCB}} {
+			if s.set.Capacity() != n {
+				return fmt.Errorf("task %q: %s capacity %d != cache sets %d", t.Name, s.name, s.set.Capacity(), n)
+			}
+		}
+		if !t.PCB.SubsetOf(t.ECB) {
+			return fmt.Errorf("task %q: PCB %v not a subset of ECB %v", t.Name, t.PCB, t.ECB)
+		}
+		if !t.UCB.SubsetOf(t.ECB) {
+			return fmt.Errorf("task %q: UCB %v not a subset of ECB %v", t.Name, t.UCB, t.ECB)
+		}
+	}
+	return nil
+}
+
+// OnCore returns the tasks Γ_x assigned to core x, highest priority
+// first.
+func (ts *TaskSet) OnCore(x int) []*Task {
+	var out []*Task
+	for _, t := range ts.Tasks {
+		if t.Core == x {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HP returns hp(i) ∩ Γ_core: tasks on the given core with strictly
+// higher priority than prio. A negative core returns the system-wide
+// hp(i).
+func (ts *TaskSet) HP(prio, core int) []*Task {
+	var out []*Task
+	for _, t := range ts.Tasks {
+		if t.Priority < prio && (core < 0 || t.Core == core) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// LP returns lp(i) ∩ Γ_core: tasks on the given core with strictly
+// lower priority than prio. A negative core returns the system-wide
+// lp(i).
+func (ts *TaskSet) LP(prio, core int) []*Task {
+	var out []*Task
+	for _, t := range ts.Tasks {
+		if t.Priority > prio && (core < 0 || t.Core == core) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HEP returns hep(k) ∩ Γ_core: tasks on the given core with priority k
+// or higher (priority value <= k). A negative core returns the
+// system-wide hep(k).
+func (ts *TaskSet) HEP(prio, core int) []*Task {
+	var out []*Task
+	for _, t := range ts.Tasks {
+		if t.Priority <= prio && (core < 0 || t.Core == core) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Aff returns aff(i,j) ∩ Γ_core = hep(i) ∩ lp(j) ∩ Γ_core: the
+// intermediate tasks that may be preempted by τ_j while delaying τ_i.
+// i and j are priority values with j < i (τ_j higher priority).
+func (ts *TaskSet) Aff(i, j, core int) []*Task {
+	var out []*Task
+	for _, t := range ts.Tasks {
+		if t.Priority <= i && t.Priority > j && (core < 0 || t.Core == core) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ByPriority returns the task with the given priority value, or nil.
+func (ts *TaskSet) ByPriority(prio int) *Task {
+	for _, t := range ts.Tasks {
+		if t.Priority == prio {
+			return t
+		}
+	}
+	return nil
+}
+
+// ByName returns the first task with the given name, or nil.
+func (ts *TaskSet) ByName(name string) *Task {
+	for _, t := range ts.Tasks {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// LowestPriority returns the largest priority value in the task set
+// (the index n of the paper's Eq. 8). It panics on an empty set.
+func (ts *TaskSet) LowestPriority() int {
+	if len(ts.Tasks) == 0 {
+		panic("taskmodel: empty task set")
+	}
+	return ts.Tasks[len(ts.Tasks)-1].Priority
+}
+
+// CoreUtilization returns the total utilization of core x at the
+// platform's d_mem.
+func (ts *TaskSet) CoreUtilization(x int) float64 {
+	u := 0.0
+	for _, t := range ts.OnCore(x) {
+		u += t.Utilization(ts.Platform.DMem)
+	}
+	return u
+}
+
+// TotalUtilization returns the sum of all task utilizations.
+func (ts *TaskSet) TotalUtilization() float64 {
+	u := 0.0
+	for _, t := range ts.Tasks {
+		u += t.Utilization(ts.Platform.DMem)
+	}
+	return u
+}
+
+// BusUtilization returns the fraction of bus time demanded by all
+// tasks: Σ MD_i*d_mem / T_i. The "perfect bus" reference of the paper
+// requires this to be at most 1.
+func (ts *TaskSet) BusUtilization() float64 {
+	u := 0.0
+	for _, t := range ts.Tasks {
+		u += float64(Time(t.MD)*ts.Platform.DMem) / float64(t.Period)
+	}
+	return u
+}

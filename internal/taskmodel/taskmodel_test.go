@@ -1,0 +1,245 @@
+package taskmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cacheset"
+)
+
+func defaultPlatform() Platform {
+	return Platform{
+		NumCores: 2,
+		Cache:    CacheConfig{NumSets: 16, BlockSizeBytes: 32},
+		DMem:     5,
+		SlotSize: 2,
+	}
+}
+
+// fig1TaskSet builds the three-task system of the paper's Fig. 1:
+// τ1, τ2 on core π_x (core 0), τ3 on core π_y (core 1).
+func fig1TaskSet() *TaskSet {
+	n := 16
+	t1 := &Task{
+		Name: "tau1", Core: 0, Priority: 0,
+		PD: 4, MD: 6, MDr: 1, Period: 12, Deadline: 12,
+		ECB: cacheset.Of(n, 5, 6, 7, 8, 9, 10),
+		PCB: cacheset.Of(n, 5, 6, 7, 8, 10),
+		UCB: cacheset.Of(n, 5, 6, 7, 8, 10),
+	}
+	t2 := &Task{
+		Name: "tau2", Core: 0, Priority: 1,
+		PD: 32, MD: 8, MDr: 8, Period: 100, Deadline: 100,
+		ECB: cacheset.Of(n, 1, 2, 3, 4, 5, 6),
+		PCB: cacheset.New(n),
+		UCB: cacheset.Of(n, 5, 6),
+	}
+	t3 := &Task{
+		Name: "tau3", Core: 1, Priority: 2,
+		PD: 4, MD: 6, MDr: 1, Period: 20, Deadline: 20,
+		ECB: cacheset.Of(n, 5, 6, 7, 8, 9, 10),
+		PCB: cacheset.Of(n, 5, 6, 7, 8, 10),
+		UCB: cacheset.Of(n, 5, 6, 7, 8, 10),
+	}
+	return NewTaskSet(defaultPlatform(), []*Task{t3, t1, t2}) // deliberately unsorted
+}
+
+func TestNewTaskSetSortsByPriority(t *testing.T) {
+	ts := fig1TaskSet()
+	for i, want := range []string{"tau1", "tau2", "tau3"} {
+		if ts.Tasks[i].Name != want {
+			t.Fatalf("Tasks[%d] = %q, want %q", i, ts.Tasks[i].Name, want)
+		}
+	}
+}
+
+func TestValidateAcceptsFig1(t *testing.T) {
+	if err := fig1TaskSet().Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(ts *TaskSet)
+		want   string
+	}{
+		{"duplicate priority", func(ts *TaskSet) { ts.Tasks[1].Priority = 0 }, "priority"},
+		{"core out of range", func(ts *TaskSet) { ts.Tasks[0].Core = 7 }, "core"},
+		{"mdr exceeds md", func(ts *TaskSet) { ts.Tasks[0].MDr = ts.Tasks[0].MD + 1 }, "MDr"},
+		{"deadline beyond period", func(ts *TaskSet) { ts.Tasks[0].Deadline = ts.Tasks[0].Period + 1 }, "deadline"},
+		{"nonpositive period", func(ts *TaskSet) { ts.Tasks[0].Period = 0 }, "period"},
+		{"negative demand", func(ts *TaskSet) { ts.Tasks[0].PD = -1 }, "negative"},
+		{"pcb not subset of ecb", func(ts *TaskSet) { ts.Tasks[0].PCB = cacheset.Of(16, 0) }, "PCB"},
+		{"ucb not subset of ecb", func(ts *TaskSet) { ts.Tasks[0].UCB = cacheset.Of(16, 0) }, "UCB"},
+		{"capacity mismatch", func(ts *TaskSet) { ts.Tasks[0].ECB = cacheset.New(8) }, "capacity"},
+		{"bad dmem", func(ts *TaskSet) { ts.Platform.DMem = 0 }, "DMem"},
+		{"bad cores", func(ts *TaskSet) { ts.Platform.NumCores = 0 }, "NumCores"},
+		{"bad slot", func(ts *TaskSet) { ts.Platform.SlotSize = 0 }, "SlotSize"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := fig1TaskSet()
+			tc.mutate(ts)
+			err := ts.Validate()
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPrioritySets(t *testing.T) {
+	ts := fig1TaskSet()
+	names := func(tasks []*Task) []string {
+		var out []string
+		for _, t := range tasks {
+			out = append(out, t.Name)
+		}
+		return out
+	}
+	eq := func(got, want []string) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	if got := names(ts.HP(1, 0)); !eq(got, []string{"tau1"}) {
+		t.Errorf("HP(1, core0) = %v, want [tau1]", got)
+	}
+	if got := names(ts.HP(0, 0)); len(got) != 0 {
+		t.Errorf("HP(0, core0) = %v, want []", got)
+	}
+	if got := names(ts.LP(1, -1)); !eq(got, []string{"tau3"}) {
+		t.Errorf("LP(1, all) = %v, want [tau3]", got)
+	}
+	if got := names(ts.HEP(1, 0)); !eq(got, []string{"tau1", "tau2"}) {
+		t.Errorf("HEP(1, core0) = %v, want [tau1 tau2]", got)
+	}
+	if got := names(ts.HEP(2, 1)); !eq(got, []string{"tau3"}) {
+		t.Errorf("HEP(2, core1) = %v, want [tau3]", got)
+	}
+	// aff(i=2, j=0) on core 0: hep(2) ∩ lp(0) = {tau2} on that core.
+	if got := names(ts.Aff(2, 0, 0)); !eq(got, []string{"tau2"}) {
+		t.Errorf("Aff(2,0,core0) = %v, want [tau2]", got)
+	}
+	// aff(1, 0) on core 0 must include τ2 itself (hep(i) contains i).
+	if got := names(ts.Aff(1, 0, 0)); !eq(got, []string{"tau2"}) {
+		t.Errorf("Aff(1,0,core0) = %v, want [tau2]", got)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	ts := fig1TaskSet()
+	if got := ts.ByPriority(2); got == nil || got.Name != "tau3" {
+		t.Errorf("ByPriority(2) = %v, want tau3", got)
+	}
+	if got := ts.ByPriority(99); got != nil {
+		t.Errorf("ByPriority(99) = %v, want nil", got)
+	}
+	if got := ts.ByName("tau2"); got == nil || got.Priority != 1 {
+		t.Errorf("ByName(tau2) = %v, want priority 1", got)
+	}
+	if got := ts.ByName("nope"); got != nil {
+		t.Errorf("ByName(nope) = %v, want nil", got)
+	}
+	if got := ts.LowestPriority(); got != 2 {
+		t.Errorf("LowestPriority() = %d, want 2", got)
+	}
+	if got := len(ts.OnCore(0)); got != 2 {
+		t.Errorf("len(OnCore(0)) = %d, want 2", got)
+	}
+	if got := len(ts.OnCore(1)); got != 1 {
+		t.Errorf("len(OnCore(1)) = %d, want 1", got)
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	ts := fig1TaskSet()
+	// tau1: (4 + 6*5)/12, tau2: (32 + 8*5)/100.
+	want := (4.0+30.0)/12.0 + (32.0+40.0)/100.0
+	if got := ts.CoreUtilization(0); !close(got, want) {
+		t.Errorf("CoreUtilization(0) = %g, want %g", got, want)
+	}
+	wantTotal := want + (4.0+30.0)/20.0
+	if got := ts.TotalUtilization(); !close(got, wantTotal) {
+		t.Errorf("TotalUtilization() = %g, want %g", got, wantTotal)
+	}
+	wantBus := 30.0/12.0 + 40.0/100.0 + 30.0/20.0
+	if got := ts.BusUtilization(); !close(got, wantBus) {
+		t.Errorf("BusUtilization() = %g, want %g", got, wantBus)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
+
+func TestSetOf(t *testing.T) {
+	c := CacheConfig{NumSets: 256, BlockSizeBytes: 32}
+	if got := c.SetOf(0); got != 0 {
+		t.Errorf("SetOf(0) = %d, want 0", got)
+	}
+	if got := c.SetOf(256); got != 0 {
+		t.Errorf("SetOf(256) = %d, want 0", got)
+	}
+	if got := c.SetOf(300); got != 44 {
+		t.Errorf("SetOf(300) = %d, want 44", got)
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	ts := fig1TaskSet()
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(got.Tasks) != len(ts.Tasks) {
+		t.Fatalf("roundtrip task count %d, want %d", len(got.Tasks), len(ts.Tasks))
+	}
+	for i, w := range ts.Tasks {
+		g := got.Tasks[i]
+		if g.Name != w.Name || g.Core != w.Core || g.Priority != w.Priority ||
+			g.PD != w.PD || g.MD != w.MD || g.MDr != w.MDr ||
+			g.Period != w.Period || g.Deadline != w.Deadline {
+			t.Errorf("task %d scalar mismatch: got %+v want %+v", i, g, w)
+		}
+		if !g.ECB.Equal(w.ECB) || !g.UCB.Equal(w.UCB) || !g.PCB.Equal(w.PCB) {
+			t.Errorf("task %d set mismatch", i)
+		}
+	}
+	if got.Platform != ts.Platform {
+		t.Errorf("platform mismatch: got %+v want %+v", got.Platform, ts.Platform)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("ReadJSON(garbage) = nil error")
+	}
+	// Structurally valid JSON but semantically invalid task set.
+	bad := `{"platform":{"NumCores":1,"Cache":{"NumSets":4,"BlockSizeBytes":32},"DMem":5,"SlotSize":1},
+	"tasks":[{"name":"x","core":0,"priority":0,"pd":1,"md":2,"mdr":3,"period":10,"deadline":10,"ucb":[],"ecb":[],"pcb":[]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("ReadJSON(MDr>MD) = nil error, want validation failure")
+	}
+}

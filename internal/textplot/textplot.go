@@ -1,0 +1,160 @@
+// Package textplot renders simple multi-series line charts as ASCII
+// art, so the experiment binaries can show figure-shaped output
+// directly in a terminal, alongside machine-readable CSV.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a plot of several series over a shared x axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Series []Series
+	// Height is the number of plot rows (default 16).
+	Height int
+	// Width is the number of plot columns (default: one per x, padded
+	// to at least 40).
+	Width int
+	// YMin/YMax fix the y range; when both zero the range is derived
+	// from the data.
+	YMin, YMax float64
+}
+
+// markers cycles through distinguishable glyphs per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render writes the chart. Series values must all have len(Xs) points.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Xs) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("textplot: empty chart")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Xs) {
+			return fmt.Errorf("textplot: series %q has %d values for %d xs", s.Name, len(s.Values), len(c.Xs))
+		}
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	width := c.Width
+	if width <= 0 {
+		width = len(c.Xs) * 3
+		if width < 40 {
+			width = 40
+		}
+	}
+
+	ymin, ymax := c.YMin, c.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				ymin = math.Min(ymin, v)
+				ymax = math.Max(ymax, v)
+			}
+		}
+		if ymin == ymax {
+			ymax = ymin + 1
+		}
+	}
+	xmin, xmax := c.Xs[0], c.Xs[len(c.Xs)-1]
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		p := (x - xmin) / (xmax - xmin)
+		ccol := int(math.Round(p * float64(width-1)))
+		if ccol < 0 {
+			ccol = 0
+		}
+		if ccol >= width {
+			ccol = width - 1
+		}
+		return ccol
+	}
+	row := func(y float64) int {
+		p := (y - ymin) / (ymax - ymin)
+		r := int(math.Round((1 - p) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			grid[row(v)][col(c.Xs[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r := 0; r < height; r++ {
+		yval := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s|\n", yval, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.3g%*.3g\n", "", width/2, xmin, width-width/2, xmax)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%8s  x: %s", "", c.XLabel)
+		if c.YLabel != "" {
+			fmt.Fprintf(&b, "   y: %s", c.YLabel)
+		}
+		b.WriteByte('\n')
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the chart data as CSV: header "x,<series...>", one
+// row per x value.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range c.Series {
+		b.WriteString(",")
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range c.Xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range c.Series {
+			if i < len(s.Values) {
+				fmt.Fprintf(&b, ",%g", s.Values[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

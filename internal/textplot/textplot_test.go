@@ -1,0 +1,103 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "demo",
+		XLabel: "utilization",
+		YLabel: "schedulable",
+		Xs:     []float64{0.1, 0.2, 0.3, 0.4},
+		Series: []Series{
+			{Name: "base", Values: []float64{1, 0.8, 0.4, 0}},
+			{Name: "aware", Values: []float64{1, 1, 0.7, 0.2}},
+		},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	var b strings.Builder
+	if err := sampleChart().Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "x: utilization", "y: schedulable", "* base", "o aware", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every rendered plot row carries the axis frame.
+	if strings.Count(out, "|") < 16 {
+		t.Errorf("expected at least 16 framed rows:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var b strings.Builder
+	empty := &Chart{}
+	if err := empty.Render(&b); err == nil {
+		t.Error("empty chart rendered")
+	}
+	bad := sampleChart()
+	bad.Series[0].Values = bad.Series[0].Values[:2]
+	if err := bad.Render(&b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	c := &Chart{
+		Xs:     []float64{1, 2},
+		Series: []Series{{Name: "flat", Values: []float64{5, 5}}},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+}
+
+func TestRenderSingleX(t *testing.T) {
+	c := &Chart{
+		Xs:     []float64{3},
+		Series: []Series{{Name: "pt", Values: []float64{1}}},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("single x: %v", err)
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	c := sampleChart()
+	c.YMin, c.YMax = 0, 1
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "   1.000 |") {
+		t.Errorf("fixed range header missing:\n%s", b.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleChart().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "x,base,aware" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	if lines[1] != "0.1,1,1" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[4] != "0.4,0,0.2" {
+		t.Errorf("row 4 = %q", lines[4])
+	}
+}
