@@ -107,6 +107,26 @@ func Analyze(ts *TaskSet, cfg AnalysisConfig) (*Result, error) {
 	return core.Analyze(ts, cfg)
 }
 
+// BatchRequest pairs one task set with the configurations to analyse
+// it under; see AnalyzeBatch.
+type BatchRequest = core.BatchRequest
+
+// AnalyzeAll analyses one task set under several configurations,
+// sharing the precomputed interference tables (γ, CPRO overlaps, task
+// partitions) across configurations with a common CRPD approach. It is
+// the cheapest way to run the paper's six-variant comparison on a
+// task set.
+func AnalyzeAll(ts *TaskSet, cfgs []AnalysisConfig) ([]*Result, error) {
+	return core.AnalyzeAll(ts, cfgs)
+}
+
+// AnalyzeBatch runs many AnalyzeAll requests on a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS) and returns one result slice per
+// request, in request order. The experiment sweeps are built on it.
+func AnalyzeBatch(reqs []BatchRequest, workers int) ([][]*Result, error) {
+	return core.AnalyzeBatch(reqs, workers)
+}
+
 // NewTaskSet wraps tasks and a platform, sorting by priority.
 func NewTaskSet(p Platform, tasks []*Task) *TaskSet {
 	return taskmodel.NewTaskSet(p, tasks)

@@ -167,3 +167,51 @@ func TestFacadeSimulateSuite(t *testing.T) {
 		t.Fatal("Perfect arbiter accepted by the simulator")
 	}
 }
+
+func TestFacadeBatch(t *testing.T) {
+	plat := buscon.DefaultPlatform()
+	plat.NumCores = 2
+	pool, err := buscon.BenchmarkPool(plat.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []buscon.AnalysisConfig{
+		{Arbiter: buscon.FP}, {Arbiter: buscon.FP, Persistence: true},
+		{Arbiter: buscon.RR}, {Arbiter: buscon.RR, Persistence: true},
+	}
+	var reqs []buscon.BatchRequest
+	var sets []*buscon.TaskSet
+	for seed := int64(0); seed < 3; seed++ {
+		ts, err := buscon.GenerateTaskSet(buscon.GenConfig{
+			Platform: plat, TasksPerCore: 4, CoreUtilization: 0.3,
+		}, pool, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, ts)
+		reqs = append(reqs, buscon.BatchRequest{TS: ts, Cfgs: cfgs})
+	}
+	batch, err := buscon.AnalyzeBatch(reqs, 2)
+	if err != nil {
+		t.Fatalf("AnalyzeBatch: %v", err)
+	}
+	if len(batch) != len(reqs) {
+		t.Fatalf("batch results = %d, want %d", len(batch), len(reqs))
+	}
+	for i, ts := range sets {
+		all, err := buscon.AnalyzeAll(ts, cfgs)
+		if err != nil {
+			t.Fatalf("AnalyzeAll: %v", err)
+		}
+		for ci := range cfgs {
+			single, err := buscon.Analyze(ts, cfgs[ci])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if all[ci].Schedulable != single.Schedulable ||
+				batch[i][ci].Schedulable != single.Schedulable {
+				t.Errorf("set %d cfg %+v: verdicts disagree across entry points", i, cfgs[ci])
+			}
+		}
+	}
+}

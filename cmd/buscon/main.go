@@ -143,20 +143,21 @@ func run() error {
 	} else {
 		fmt.Fprintln(tw, "task\tcore\tprio\tT=D\tWCRT\tverdict")
 	}
+	cell := func(tr core.TaskResult) (wcrt, verdict string) {
+		switch {
+		case !tr.Verified:
+			// The abort left only a mid-iteration lower bound.
+			return ">=" + fmt.Sprint(tr.WCRT), "unverified"
+		case !tr.Schedulable:
+			return ">" + fmt.Sprint(tr.Deadline), "DEADLINE MISS"
+		default:
+			return fmt.Sprint(tr.WCRT), "OK"
+		}
+	}
 	for i, tr := range res.Tasks {
-		verdict := "OK"
-		if !tr.Schedulable {
-			verdict = "DEADLINE MISS"
-		}
-		wcrt := fmt.Sprint(tr.WCRT)
-		if !tr.Schedulable {
-			wcrt = ">" + fmt.Sprint(tr.Deadline)
-		}
+		wcrt, verdict := cell(tr)
 		if other != nil {
-			ow := fmt.Sprint(other.Tasks[i].WCRT)
-			if !other.Tasks[i].Schedulable {
-				ow = ">" + fmt.Sprint(other.Tasks[i].Deadline)
-			}
+			ow, _ := cell(other.Tasks[i])
 			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\t%s\n", tr.Name, tr.Core, tr.Priority, tr.Deadline, wcrt, ow, verdict)
 		} else {
 			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\n", tr.Name, tr.Core, tr.Priority, tr.Deadline, wcrt, verdict)

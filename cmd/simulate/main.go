@@ -128,10 +128,10 @@ func run() error {
 		for _, tr := range res.Tasks {
 			if tr.Priority == prio {
 				switch {
+				case !tr.Verified:
+					return "n/a" // aborted before judging this task
 				case !tr.Schedulable:
 					return "miss"
-				case !res.Complete:
-					return "n/a"
 				default:
 					return fmt.Sprint(tr.WCRT)
 				}

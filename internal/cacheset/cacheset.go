@@ -152,6 +152,25 @@ func (s Set) IntersectCount(t Set) int {
 	return c
 }
 
+// IntersectCountUnion returns |s ∩ (t1 ∪ t2 ∪ …)| without
+// materializing the union. It is the workhorse of the analyzer's
+// precomputed interference tables, where terms of the form
+// |PCB ∩ ∪ ECB_s| are needed for many task pairs.
+func (s Set) IntersectCountUnion(ts ...Set) int {
+	for _, t := range ts {
+		s.check(t)
+	}
+	c := 0
+	for i, w := range s.words {
+		var u uint64
+		for _, t := range ts {
+			u |= t.words[i]
+		}
+		c += bits.OnesCount64(w & u)
+	}
+	return c
+}
+
 // Intersects reports whether s ∩ t is non-empty, without allocating.
 func (s Set) Intersects(t Set) bool {
 	s.check(t)

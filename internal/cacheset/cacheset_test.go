@@ -138,6 +138,25 @@ func TestIntersects(t *testing.T) {
 	}
 }
 
+func TestIntersectCountUnion(t *testing.T) {
+	n := 8
+	pcb := Of(n, 0, 1, 2, 3)
+	e1 := Of(n, 1, 5)
+	e2 := Of(n, 2, 3, 6)
+	if got := pcb.IntersectCountUnion(e1, e2); got != 3 {
+		t.Fatalf("IntersectCountUnion = %d, want 3", got)
+	}
+	if got := pcb.IntersectCountUnion(); got != 0 {
+		t.Fatalf("empty union: %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity mismatch must panic")
+		}
+	}()
+	pcb.IntersectCountUnion(Of(16, 1))
+}
+
 func TestCloneIndependence(t *testing.T) {
 	a := Of(16, 1)
 	b := a.Clone()
@@ -251,6 +270,13 @@ func TestQuickSetAlgebra(t *testing.T) {
 	t.Run("intersect count matches intersect", func(t *testing.T) {
 		if err := quick.Check(func(tr triple) bool {
 			return tr.a.IntersectCount(tr.b) == tr.a.Intersect(tr.b).Count()
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("intersect count union matches materialized union", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			return tr.a.IntersectCountUnion(tr.b, tr.c) == tr.a.IntersectCount(tr.b.Union(tr.c))
 		}, cfg); err != nil {
 			t.Error(err)
 		}

@@ -17,6 +17,12 @@
 // core under analysis hosts at least one lower-priority task, matching
 // the paper's remark below Eq. (12) that the term vanishes for the
 // lowest-priority task of the core.
+//
+// The equations are evaluated against precomputed interference tables
+// (see tables.go): all cache-set work is hoisted out of the fixed-point
+// iteration, which then runs on integer arithmetic only. AnalyzeReference
+// (reference.go) retains the direct, recompute-everything evaluation;
+// the differential test asserts both produce bit-identical results.
 package core
 
 import (
@@ -88,12 +94,22 @@ func DefaultConfig(arb Arbiter, persistence bool) Config {
 
 // TaskResult reports the analysis outcome for one task.
 type TaskResult struct {
-	Name        string
-	Priority    int
-	Core        int
-	WCRT        taskmodel.Time // meaningful only if Schedulable
-	Deadline    taskmodel.Time
+	Name     string
+	Priority int
+	Core     int
+	WCRT     taskmodel.Time // converged bound only if Verified
+	Deadline taskmodel.Time
+	// Schedulable reports whether the task is proven to meet its
+	// deadline. When the analysis aborts early (Result.Complete false),
+	// tasks whose response times never converged are conservatively
+	// reported not schedulable: nothing was proven about them.
 	Schedulable bool
+	// Verified reports whether the analysis finished judging this task:
+	// either its WCRT converged at or below the deadline (Schedulable),
+	// or it provably misses its deadline. Unverified tasks carry the
+	// mid-iteration estimate in WCRT — a lower bound on the true WCRT,
+	// not a final bound.
+	Verified bool
 }
 
 // Result is the outcome of a whole-task-set analysis.
@@ -120,10 +136,8 @@ type Analyzer struct {
 	// R holds the current response-time estimate per priority value.
 	R map[int]taskmodel.Time
 
-	gammaMemo map[gammaKey]int64
+	tab *Tables
 }
-
-type gammaKey struct{ i, j, core int }
 
 // NewAnalyzer validates the task set and prepares an analyzer with
 // response times initialized to PD_i + MD_i·d_mem, the paper's
@@ -132,14 +146,33 @@ func NewAnalyzer(ts *taskmodel.TaskSet, cfg Config) (*Analyzer, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
+	return NewAnalyzerWithTables(ts, cfg, PrecomputeTables(ts, cfg.CRPD))
+}
+
+// NewAnalyzerWithTables is NewAnalyzer reusing previously computed
+// interference tables, so repeated analyses of the same task set — or
+// of clones differing only in d_mem, which none of the cached terms
+// depend on — skip the cache-set work entirely. The tables' CRPD
+// approach must match cfg and the task set must be compatible with the
+// one the tables were built for.
+func NewAnalyzerWithTables(ts *taskmodel.TaskSet, cfg Config, tbl *Tables) (*Analyzer, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if tbl.crpd != cfg.CRPD {
+		return nil, fmt.Errorf("core: tables built for CRPD %v, config wants %v", tbl.crpd, cfg.CRPD)
+	}
+	if err := tbl.compatible(ts); err != nil {
+		return nil, err
+	}
 	if cfg.MaxOuterIterations == 0 {
 		cfg.MaxOuterIterations = 64
 	}
 	a := &Analyzer{
-		TS:        ts,
-		Cfg:       cfg,
-		R:         make(map[int]taskmodel.Time, len(ts.Tasks)),
-		gammaMemo: make(map[gammaKey]int64),
+		TS:  ts,
+		Cfg: cfg,
+		R:   make(map[int]taskmodel.Time, len(ts.Tasks)),
+		tab: tbl,
 	}
 	for _, t := range ts.Tasks {
 		a.R[t.Priority] = t.PD + taskmodel.Time(t.MD)*ts.Platform.DMem
@@ -147,15 +180,16 @@ func NewAnalyzer(ts *taskmodel.TaskSet, cfg Config) (*Analyzer, error) {
 	return a, nil
 }
 
-// gamma memoizes γ_{i,j,core} under the configured CRPD approach.
+// gamma returns γ_{i,j,core} under the configured CRPD approach, from
+// the tables when core is τ_j's own core (the only case the analysis
+// equations produce) and recomputed otherwise.
 func (a *Analyzer) gamma(i, j, core int) int64 {
-	k := gammaKey{i, j, core}
-	if g, ok := a.gammaMemo[k]; ok {
-		return g
+	if jj, ok := a.tab.prioIdx[j]; ok && a.tab.tasks[jj].Core == core {
+		if ii, ok := a.tab.prioIdx[i]; ok {
+			return a.tab.pair(ii, a.tab.row(ii), jj).gamma
+		}
 	}
-	g := crpd.Gamma(a.TS, a.Cfg.CRPD, i, j, core)
-	a.gammaMemo[k] = g
-	return g
+	return crpd.Gamma(a.TS, a.Cfg.CRPD, i, j, core)
 }
 
 func ceilDiv(a, b int64) int64 {
@@ -181,11 +215,75 @@ func min64(a, b int64) int64 {
 	return b
 }
 
+// pairFor returns the (ii, jj) pair entry filled to the depth the
+// configuration consumes: γ always, the CPRO overlaps only with
+// persistence enabled.
+func (a *Analyzer) pairFor(ii int, r *row, jj int) *pairTab {
+	if a.Cfg.Persistence {
+		return a.tab.pairPersist(ii, r, jj)
+	}
+	return a.tab.pair(ii, r, jj)
+}
+
+// persistentDemand is PersistentDemandWindow (Eq. 10 + Eq. 14, clamped
+// by the oblivious bound) evaluated from the tables: the
+// persistence-aware bound on the accesses of n jobs of task jj inside a
+// window of length t at level ii.
+func (a *Analyzer) persistentDemand(p *pairTab, jj int, n int64, t taskmodel.Time) int64 {
+	if n <= 0 {
+		return 0
+	}
+	tj := a.tab.tasks[jj]
+	plain := n * tj.MD
+	mdhat := n*tj.MDr + a.tab.pcb[jj]
+	if plain < mdhat {
+		mdhat = plain
+	}
+	aware := mdhat + a.rho(p, jj, n, t)
+	if aware < plain {
+		return aware
+	}
+	return plain
+}
+
+// rho is ρ̂_{j,i,x}(n) (Eq. 14 and its variants) from the tables.
+func (a *Analyzer) rho(p *pairTab, jj int, n int64, t taskmodel.Time) int64 {
+	if n <= 1 {
+		return 0
+	}
+	switch a.Cfg.CPRO {
+	case persistence.Union:
+		return (n - 1) * p.unionOverlap
+	case persistence.MultisetUnion:
+		union := (n - 1) * p.unionOverlap
+		var multi int64
+		for _, ev := range p.evictors {
+			// Jobs of the evictor in the window, +1 for a carry-in job.
+			jobs := int64(t)/int64(ev.Period) + 2
+			if jobs > n-1 {
+				jobs = n - 1
+			}
+			multi += jobs * ev.Overlap
+		}
+		return min64(multi, union)
+	case persistence.FullReload:
+		return (n - 1) * a.tab.pcb[jj]
+	case persistence.None:
+		return 0
+	default:
+		panic(fmt.Sprintf("core: unknown CPRO approach %d", int(a.Cfg.CPRO)))
+	}
+}
+
 // BAS bounds the bus accesses generated on core x by one job of the
 // priority-i task plus all higher-priority tasks of that core in a
 // window of length t. With persistence disabled this is Eq. (1); with
 // persistence enabled it is B̂AS of Lemma 1 (Eq. 16).
 func (a *Analyzer) BAS(i, core int, t taskmodel.Time) int64 {
+	if ii, ok := a.tab.prioIdx[i]; ok && a.tab.tasks[ii].Core == core {
+		return a.bas(ii, t)
+	}
+	// Off-core query (not produced by the analysis itself): recompute.
 	ti := a.TS.ByPriority(i)
 	total := ti.MD
 	for _, tj := range a.TS.HP(i, core) {
@@ -197,6 +295,23 @@ func (a *Analyzer) BAS(i, core int, t taskmodel.Time) int64 {
 			total += ej * tj.MD
 		}
 		total += ej * g
+	}
+	return total
+}
+
+// bas is BAS at level ii on the task's own core, from the tables.
+func (a *Analyzer) bas(ii int, t taskmodel.Time) int64 {
+	r := a.tab.row(ii)
+	total := a.tab.tasks[ii].MD
+	for _, ref := range r.hp {
+		ej := ceilDiv(int64(t), int64(ref.t.Period))
+		p := a.pairFor(ii, r, ref.idx)
+		if a.Cfg.Persistence {
+			total += a.persistentDemand(p, ref.idx, ej, t)
+		} else {
+			total += ej * ref.t.MD
+		}
+		total += ej * p.gamma
 	}
 	return total
 }
@@ -231,6 +346,9 @@ func (a *Analyzer) wcout(k int, tl *taskmodel.Task, t taskmodel.Time, n int64) i
 // of priority k or higher in a window of length t. With persistence
 // disabled this is Eq. (3); enabled, it is B̂AO of Lemma 2.
 func (a *Analyzer) BAO(k, y int, t taskmodel.Time) int64 {
+	if kk, ok := a.tab.prioIdx[k]; ok {
+		return a.bao(kk, y, t)
+	}
 	var total int64
 	for _, tl := range a.TS.HEP(k, y) {
 		total += a.contrib(k, tl, t)
@@ -238,9 +356,26 @@ func (a *Analyzer) BAO(k, y int, t taskmodel.Time) int64 {
 	return total
 }
 
+func (a *Analyzer) bao(kk, y int, t taskmodel.Time) int64 {
+	r := a.tab.row(kk)
+	var total int64
+	for _, ref := range r.hep[y] {
+		total += a.contribRef(kk, r, ref, t)
+	}
+	return total
+}
+
 // BAOLow bounds the accesses from tasks on remote core y with priority
 // lower than i (the FP bus blocking sources of Eq. 7).
 func (a *Analyzer) BAOLow(i, y int, t taskmodel.Time) int64 {
+	if ii, ok := a.tab.prioIdx[i]; ok {
+		r := a.tab.row(ii)
+		var total int64
+		for _, ref := range r.lp[y] {
+			total += a.contribRef(ii, r, ref, t)
+		}
+		return total
+	}
 	var total int64
 	for _, tl := range a.TS.LP(i, y) {
 		total += a.contrib(i, tl, t)
@@ -248,7 +383,9 @@ func (a *Analyzer) BAOLow(i, y int, t taskmodel.Time) int64 {
 	return total
 }
 
-// contrib is one task's W + W_cout term of Eq. (3)/(17).
+// contrib is one task's W + W_cout term of Eq. (3)/(17), recomputed
+// directly; contribRef is the table-backed equivalent used by the hot
+// path.
 func (a *Analyzer) contrib(k int, tl *taskmodel.Task, t taskmodel.Time) int64 {
 	n := a.njobs(k, tl, t)
 	g := a.gamma(k, tl.Priority, tl.Core)
@@ -261,11 +398,41 @@ func (a *Analyzer) contrib(k int, tl *taskmodel.Task, t taskmodel.Time) int64 {
 	return w + a.wcout(k, tl, t, n)
 }
 
+func (a *Analyzer) contribRef(kk int, r *row, ref taskRef, t taskmodel.Time) int64 {
+	tl := ref.t
+	p := a.pairFor(kk, r, ref.idx)
+	dmem := int64(a.TS.Platform.DMem)
+	num := int64(t) + int64(a.R[tl.Priority]) - (tl.MD+p.gamma)*dmem
+	n := floorDiv(num, int64(tl.Period))
+	if n < 0 {
+		n = 0
+	}
+	var w int64
+	if a.Cfg.Persistence {
+		w = a.persistentDemand(p, ref.idx, n, t) + n*p.gamma
+	} else {
+		w = n * (tl.MD + p.gamma)
+	}
+	wc := ceilDiv(num-n*int64(tl.Period), dmem)
+	if wc < 0 {
+		wc = 0
+	} else if wc > tl.MD+p.gamma {
+		wc = tl.MD + p.gamma
+	}
+	return w + wc
+}
+
 // plus1 is the blocking term of Eq. (7)–(9): one access of a
 // lower-priority task of the same core may be in service when the job
 // under analysis arrives. It vanishes when the task is the lowest
 // priority one on its core (see the remark below Eq. 12).
 func (a *Analyzer) plus1(i, core int) int64 {
+	if ii, ok := a.tab.prioIdx[i]; ok && a.tab.tasks[ii].Core == core {
+		if a.tab.row(ii).hasLP {
+			return 1
+		}
+		return 0
+	}
 	if len(a.TS.LP(i, core)) > 0 {
 		return 1
 	}
@@ -321,6 +488,14 @@ func (a *Analyzer) BAT(i int, t taskmodel.Time) int64 {
 // monotone, so restarting lower would waste iterations).
 func (a *Analyzer) ResponseTime(i int) (taskmodel.Time, bool) {
 	ti := a.TS.ByPriority(i)
+	var hp []taskRef
+	if ii, ok := a.tab.prioIdx[i]; ok {
+		hp = a.tab.row(ii).hp
+	} else {
+		for _, tj := range a.TS.HP(i, ti.Core) {
+			hp = append(hp, taskRef{t: tj})
+		}
+	}
 	dmem := a.TS.Platform.DMem
 	r := ti.PD + taskmodel.Time(ti.MD)*dmem
 	if cur := a.R[i]; cur > r {
@@ -328,8 +503,8 @@ func (a *Analyzer) ResponseTime(i int) (taskmodel.Time, bool) {
 	}
 	for {
 		var interference taskmodel.Time
-		for _, tj := range a.TS.HP(i, ti.Core) {
-			interference += taskmodel.Time(ceilDiv(int64(r), int64(tj.Period))) * tj.PD
+		for _, ref := range hp {
+			interference += taskmodel.Time(ceilDiv(int64(r), int64(ref.t.Period))) * ref.t.PD
 		}
 		next := ti.PD + interference + taskmodel.Time(a.BAT(i, r))*dmem
 		if next > ti.Deadline {
@@ -355,13 +530,18 @@ func (a *Analyzer) ResponseTime(i int) (taskmodel.Time, bool) {
 // min(MD, MD^r + CPRO), where CPRO covers the persistent blocks its
 // same-core neighbours can evict between jobs.
 func (a *Analyzer) perfectBusUtil() float64 {
+	var low *row
+	lowIdx := len(a.tab.tasks) - 1
+	if a.Cfg.Persistence {
+		// hep(lowest priority) spans every task, so the lowest row's
+		// union overlaps are exactly the steady-state CPRO terms.
+		low = a.tab.row(lowIdx)
+	}
 	u := 0.0
-	for _, t := range a.TS.Tasks {
+	for jj, t := range a.tab.tasks {
 		demand := t.MD
 		if a.Cfg.Persistence {
-			evictable := int64(t.PCB.IntersectCount(persistence.EvictingUnion(
-				a.TS, a.TS.LowestPriority(), t.Priority, t.Core)))
-			if aware := t.MDr + evictable; aware < demand {
+			if aware := t.MDr + a.tab.pairPersist(lowIdx, low, jj).unionOverlap; aware < demand {
 				demand = aware
 			}
 		}
@@ -374,33 +554,53 @@ func (a *Analyzer) perfectBusUtil() float64 {
 // of all tasks are recomputed until globally stable, since each task's
 // bound feeds the remote-interference terms of the others. It stops
 // early as soon as any task provably misses its deadline.
+//
+// The loop is incremental: a task is re-evaluated only while marked
+// dirty, and a changed R[l] re-dirties exactly the tasks whose
+// recurrences may read it — tasks on other cores (the remote
+// N/W_cout terms) plus lower-priority tasks of the same core (a
+// conservative superset; same-core recurrences read only periods and
+// demands). Because the skipped tasks would have recomputed their
+// current, already-converged values, the iteration visits the same
+// states — and aborts at the same point — as the full re-evaluation
+// performed by AnalyzeReference.
 func (a *Analyzer) Run() *Result {
 	res := &Result{Schedulable: true, Complete: true}
 	if a.Cfg.Arbiter == Perfect && a.perfectBusUtil() > 1.0 {
 		// The perfect-bus reference additionally requires the bus not to
-		// be overloaded.
+		// be overloaded. The gate is a final verdict — no per-task fixed
+		// point is attempted.
 		res.Schedulable = false
 		for _, t := range a.TS.Tasks {
 			res.Tasks = append(res.Tasks, TaskResult{
 				Name: t.Name, Priority: t.Priority, Core: t.Core,
-				Deadline: t.Deadline, Schedulable: false,
+				Deadline: t.Deadline, Schedulable: false, Verified: true,
 			})
 		}
 		return res
+	}
+	dirty := make([]bool, len(a.TS.Tasks))
+	for i := range dirty {
+		dirty[i] = true
 	}
 	converged := false
 	for iter := 0; iter < a.Cfg.MaxOuterIterations; iter++ {
 		res.OuterIterations = iter + 1
 		changed := false
-		for _, t := range a.TS.Tasks {
+		for idx, t := range a.TS.Tasks {
+			if !dirty[idx] {
+				continue
+			}
+			dirty[idx] = false
 			r, ok := a.ResponseTime(t.Priority)
 			if !ok {
 				a.R[t.Priority] = r
-				return a.fail(res, t.Priority)
+				return a.fail(res, t.Priority, true)
 			}
 			if r != a.R[t.Priority] {
 				a.R[t.Priority] = r
 				changed = true
+				a.markDependents(idx, dirty)
 			}
 		}
 		if !changed {
@@ -410,30 +610,51 @@ func (a *Analyzer) Run() *Result {
 	}
 	if !converged {
 		// The outer fixed point did not stabilise within the iteration
-		// budget; claiming schedulability would be unsound.
-		return a.fail(res, a.TS.LowestPriority())
+		// budget; claiming schedulability would be unsound, and nothing
+		// was proven about any individual task.
+		return a.fail(res, a.TS.LowestPriority(), false)
 	}
 	for _, t := range a.TS.Tasks {
 		res.Tasks = append(res.Tasks, TaskResult{
 			Name: t.Name, Priority: t.Priority, Core: t.Core,
-			WCRT: a.R[t.Priority], Deadline: t.Deadline, Schedulable: true,
+			WCRT: a.R[t.Priority], Deadline: t.Deadline,
+			Schedulable: true, Verified: true,
 		})
 	}
 	return res
 }
 
-// fail finalizes a result after the task at priority failPrio missed
-// its deadline.
-func (a *Analyzer) fail(res *Result, failPrio int) *Result {
+// markDependents flags every task whose response-time recurrence may
+// read R[idx]: tasks on other cores, plus same-core lower-priority
+// tasks as a conservative margin.
+func (a *Analyzer) markDependents(idx int, dirty []bool) {
+	tl := a.TS.Tasks[idx]
+	for j, t := range a.TS.Tasks {
+		if j == idx {
+			continue
+		}
+		if t.Core != tl.Core || t.Priority > tl.Priority {
+			dirty[j] = true
+		}
+	}
+}
+
+// fail finalizes a result after the analysis aborted: either the task
+// at priority failPrio provably missed its deadline (proven), or the
+// iteration budget ran out (not proven). Every task is reported not
+// schedulable — the abort leaves their bounds mid-iteration, so no
+// schedulability claim holds — and only a proven deadline miss is
+// marked Verified.
+func (a *Analyzer) fail(res *Result, failPrio int, proven bool) *Result {
 	res.Schedulable = false
 	res.Complete = false
 	for _, t := range a.TS.Tasks {
-		tr := TaskResult{
+		res.Tasks = append(res.Tasks, TaskResult{
 			Name: t.Name, Priority: t.Priority, Core: t.Core,
 			WCRT: a.R[t.Priority], Deadline: t.Deadline,
-			Schedulable: t.Priority != failPrio,
-		}
-		res.Tasks = append(res.Tasks, tr)
+			Schedulable: false,
+			Verified:    proven && t.Priority == failPrio,
+		})
 	}
 	return res
 }
@@ -446,4 +667,30 @@ func Analyze(ts *taskmodel.TaskSet, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return a.Run(), nil
+}
+
+// AnalyzeAll analyzes one task set under several configurations,
+// sharing the precomputed interference tables between configurations
+// with the same CRPD approach (the cached terms do not depend on the
+// arbiter, the persistence switch or the CPRO approach). Results are
+// returned in cfgs order.
+func AnalyzeAll(ts *taskmodel.TaskSet, cfgs []Config) ([]*Result, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	tables := make(map[crpd.Approach]*Tables)
+	out := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		tbl, ok := tables[cfg.CRPD]
+		if !ok {
+			tbl = PrecomputeTables(ts, cfg.CRPD)
+			tables[cfg.CRPD] = tbl
+		}
+		a, err := NewAnalyzerWithTables(ts, cfg, tbl)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a.Run()
+	}
+	return out, nil
 }

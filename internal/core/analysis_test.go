@@ -102,8 +102,74 @@ func TestUnschedulableDetected(t *testing.T) {
 	if res.Tasks[1].Schedulable {
 		t.Error("τ2 marked schedulable despite deadline miss")
 	}
-	if !res.Tasks[0].Schedulable {
-		t.Error("τ1 should not be blamed")
+	if !res.Tasks[1].Verified {
+		t.Error("τ2's deadline miss is proven, so it must be Verified")
+	}
+	// The analysis aborted before τ1's bound converged: nothing was
+	// proven about it, so it must be reported neither schedulable nor
+	// verified.
+	if res.Tasks[0].Schedulable {
+		t.Error("τ1 claimed schedulable from a mid-iteration estimate")
+	}
+	if res.Tasks[0].Verified {
+		t.Error("τ1 marked verified despite the aborted fixed point")
+	}
+}
+
+func TestAbortVerdictsNeverMisleading(t *testing.T) {
+	// When Complete is false, no task may combine Schedulable with an
+	// unverified bound: either semantics (the conservative Schedulable
+	// flag and the explicit Verified field) must reflect the abort.
+	ts := twoTaskSet()
+	ts.Tasks[1].Deadline = 30
+	ts.Tasks[1].Period = 30
+	for _, arb := range []Arbiter{FP, RR, TDMA} {
+		res, err := Analyze(ts, Config{Arbiter: arb})
+		if err != nil {
+			t.Fatalf("%v: %v", arb, err)
+		}
+		if res.Complete {
+			t.Fatalf("%v: expected an aborted analysis", arb)
+		}
+		verified := 0
+		for _, tr := range res.Tasks {
+			if tr.Schedulable {
+				t.Errorf("%v task %s: schedulable claim in an incomplete result", arb, tr.Name)
+			}
+			if tr.Verified {
+				verified++
+				if tr.WCRT <= tr.Deadline {
+					t.Errorf("%v task %s: verified miss but WCRT %d within deadline %d",
+						arb, tr.Name, tr.WCRT, tr.Deadline)
+				}
+			}
+		}
+		if verified != 1 {
+			t.Errorf("%v: %d verified tasks in an abort, want exactly the missing one", arb, verified)
+		}
+	}
+	// A successful analysis verifies everything.
+	res, err := Analyze(twoTaskSet(), Config{Arbiter: FP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Tasks {
+		if !tr.Schedulable || !tr.Verified {
+			t.Errorf("task %s: want schedulable and verified, got %+v", tr.Name, tr)
+		}
+	}
+	// The MaxOuterIterations safety net proves nothing about anyone.
+	stressed := fixtures.Fig1TaskSet()
+	capped, err := Analyze(stressed, Config{Arbiter: RR, Persistence: true, MaxOuterIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Complete {
+		for _, tr := range capped.Tasks {
+			if tr.Schedulable || tr.Verified {
+				t.Errorf("budget exhaustion must leave %s unverified: %+v", tr.Name, tr)
+			}
+		}
 	}
 }
 

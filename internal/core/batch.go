@@ -1,0 +1,57 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/taskmodel"
+)
+
+// BatchRequest asks for one task set to be analyzed under a list of
+// configurations (typically the six variants of a sweep point).
+type BatchRequest struct {
+	TS   *taskmodel.TaskSet
+	Cfgs []Config
+}
+
+// AnalyzeBatch fans the requests across a worker pool and returns, per
+// request, the results in Cfgs order. Each request is processed by one
+// worker via AnalyzeAll, so the configurations of a request share
+// precomputed interference tables while distinct requests run in
+// parallel. workers <= 0 selects GOMAXPROCS. The first error aborts
+// nothing already in flight but is returned after all workers drain.
+func AnalyzeBatch(reqs []BatchRequest, workers int) ([][]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	out := make([][]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = AnalyzeAll(reqs[i].TS, reqs[i].Cfgs)
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/taskgen"
+	"repro/internal/taskmodel"
+)
+
+// Analyzer-level microbenchmarks on the paper's default platform
+// (4 cores, 8 tasks per core): the acceptance bar for the interference
+// tables is ≥3× over the retained naive reference with persistence on.
+// Utilizations are chosen per (arbiter, persistence) pair so the fixed
+// point converges — the converging regime is where virtually all sweep
+// time is spent; aborting points cost microseconds either way. The
+// persistence-oblivious bound is more pessimistic, so it needs lighter
+// sets; TDMA's (m−1)·s slot-wait factor rejects everything heavier
+// still. FP and RR carry the speedup bar: TDMA reads few pairs and
+// converges in two rounds, so its cost is dominated by the one-time γ
+// set work both implementations share. Run with:
+//
+//	go test ./internal/core -bench 'Analyze' -benchmem
+
+func benchUtil(arb Arbiter, persistence bool) float64 {
+	switch {
+	case !persistence:
+		return 0.15
+	case arb == TDMA:
+		return 0.2
+	default:
+		return 0.3
+	}
+}
+
+func benchSet(b *testing.B, util float64) *taskmodel.TaskSet {
+	b.Helper()
+	cfg := taskgen.DefaultConfig()
+	cfg.TasksPerCore = 8
+	cfg.CoreUtilization = util
+	pool, err := taskgen.PoolFromSuite(cfg.Platform.Cache)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(7)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}
+
+func benchAnalyze(b *testing.B, arb Arbiter) {
+	for _, p := range []bool{false, true} {
+		name := "base"
+		if p {
+			name = "persistence"
+		}
+		ts := benchSet(b, benchUtil(arb, p))
+		b.Run(name, func(b *testing.B) {
+			cfg := Config{Arbiter: arb, Persistence: p}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Analyze(ts, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Complete {
+					b.Fatal("benchmark workload must converge; retune benchUtil")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAnalyzeFP(b *testing.B)   { benchAnalyze(b, FP) }
+func BenchmarkAnalyzeRR(b *testing.B)   { benchAnalyze(b, RR) }
+func BenchmarkAnalyzeTDMA(b *testing.B) { benchAnalyze(b, TDMA) }
+
+// BenchmarkAnalyzeReference is the same workload on the naive
+// recompute-everything implementation, for the speedup ratio.
+func BenchmarkAnalyzeReference(b *testing.B) {
+	for _, arb := range []Arbiter{FP, RR, TDMA} {
+		ts := benchSet(b, benchUtil(arb, true))
+		b.Run(arb.String(), func(b *testing.B) {
+			cfg := Config{Arbiter: arb, Persistence: true}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := AnalyzeReference(ts, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeAllSharedTables measures the six-variant sweep
+// workload (the per-point unit of Fig. 2) with tables shared across
+// variants.
+func BenchmarkAnalyzeAllSharedTables(b *testing.B) {
+	ts := benchSet(b, 0.3)
+	cfgs := []Config{
+		{Arbiter: FP}, {Arbiter: FP, Persistence: true},
+		{Arbiter: RR}, {Arbiter: RR, Persistence: true},
+		{Arbiter: TDMA}, {Arbiter: TDMA, Persistence: true},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeAll(ts, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

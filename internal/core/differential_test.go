@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/persistence"
+	"repro/internal/taskgen"
+	"repro/internal/taskmodel"
+)
+
+// The differential test: the table-driven analyzer must return
+// bit-identical Results to the retained naive reference across a
+// fuzzed corpus — every arbiter, persistence on and off, and every
+// CPRO approach, over task sets spanning schedulable, borderline and
+// aborting regimes.
+
+func differentialCorpus(t *testing.T, count int) []*taskmodel.TaskSet {
+	t.Helper()
+	var out []*taskmodel.TaskSet
+	utils := []float64{0.2, 0.4, 0.6, 0.8, 0.95}
+	coreCounts := []int{2, 4}
+	tasksPerCore := []int{3, 6}
+	seed := int64(0)
+	for len(out) < count {
+		cfg := taskgen.DefaultConfig()
+		cfg.Platform.NumCores = coreCounts[seed%int64(len(coreCounts))]
+		cfg.TasksPerCore = tasksPerCore[(seed/2)%int64(len(tasksPerCore))]
+		cfg.CoreUtilization = utils[(seed/4)%int64(len(utils))]
+		pool, err := taskgen.PoolFromSuite(cfg.Platform.Cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ts)
+		seed++
+	}
+	return out
+}
+
+func differentialConfigs() []Config {
+	var cfgs []Config
+	for _, arb := range []Arbiter{FP, RR, TDMA, Perfect} {
+		cfgs = append(cfgs, Config{Arbiter: arb, Persistence: false})
+		for _, cpro := range []persistence.CPROApproach{
+			persistence.Union, persistence.MultisetUnion,
+			persistence.FullReload, persistence.None,
+		} {
+			cfgs = append(cfgs, Config{Arbiter: arb, Persistence: true, CPRO: cpro})
+		}
+	}
+	return cfgs
+}
+
+func TestDifferentialTableVsReference(t *testing.T) {
+	count := 200
+	if testing.Short() {
+		count = 40
+	}
+	cfgs := differentialConfigs()
+	aborts := 0
+	for si, ts := range differentialCorpus(t, count) {
+		for _, cfg := range cfgs {
+			got, err := Analyze(ts, cfg)
+			if err != nil {
+				t.Fatalf("set %d %+v: Analyze: %v", si, cfg, err)
+			}
+			want, err := AnalyzeReference(ts, cfg)
+			if err != nil {
+				t.Fatalf("set %d %+v: AnalyzeReference: %v", si, cfg, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("set %d %+v: results diverge\n table: %+v\n naive: %+v", si, cfg, got, want)
+			}
+			if !got.Complete {
+				aborts++
+			}
+		}
+	}
+	if aborts == 0 {
+		t.Error("corpus never exercised the abort path; tighten the generator utilizations")
+	}
+}
+
+// TestDifferentialSharedTables repeats the comparison through the
+// AnalyzeAll path, where one Tables instance is shared across all
+// configurations of a task set.
+func TestDifferentialSharedTables(t *testing.T) {
+	count := 40
+	if testing.Short() {
+		count = 10
+	}
+	cfgs := differentialConfigs()
+	for si, ts := range differentialCorpus(t, count) {
+		all, err := AnalyzeAll(ts, cfgs)
+		if err != nil {
+			t.Fatalf("set %d: AnalyzeAll: %v", si, err)
+		}
+		for ci, cfg := range cfgs {
+			want, err := AnalyzeReference(ts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(all[ci], want) {
+				t.Fatalf("set %d %+v: shared-tables result diverges\n table: %+v\n naive: %+v",
+					si, cfg, all[ci], want)
+			}
+		}
+	}
+}
+
+// TestDifferentialBatch covers the worker-pool entry point end to end.
+func TestDifferentialBatch(t *testing.T) {
+	sets := differentialCorpus(t, 12)
+	cfgs := differentialConfigs()
+	reqs := make([]BatchRequest, len(sets))
+	for i, ts := range sets {
+		reqs[i] = BatchRequest{TS: ts, Cfgs: cfgs}
+	}
+	got, err := AnalyzeBatch(reqs, 4)
+	if err != nil {
+		t.Fatalf("AnalyzeBatch: %v", err)
+	}
+	for i, ts := range sets {
+		for ci, cfg := range cfgs {
+			want, err := AnalyzeReference(ts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got[i][ci], want) {
+				t.Fatalf("req %d cfg %+v: batch result diverges", i, cfg)
+			}
+		}
+	}
+	if _, err := AnalyzeBatch(nil, 0); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestTablesReuseAcrossDMem pins the sensitivity-analysis contract:
+// tables built once remain valid for clones differing only in d_mem.
+func TestTablesReuseAcrossDMem(t *testing.T) {
+	for _, ts := range differentialCorpus(t, 4) {
+		cfg := Config{Arbiter: RR, Persistence: true}
+		tbl := PrecomputeTables(ts, cfg.CRPD)
+		for _, d := range []taskmodel.Time{1, 3, 17} {
+			clone := cloneWithDMem(ts, d)
+			a, err := NewAnalyzerWithTables(clone, cfg, tbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := AnalyzeReference(clone, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := a.Run(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("d_mem %d: reused-tables result diverges", d)
+			}
+		}
+	}
+}
+
+// TestAnalyzerWithTablesRejectsMismatch ensures the compatibility check
+// refuses task sets the cached terms were not built for.
+func TestAnalyzerWithTablesRejectsMismatch(t *testing.T) {
+	sets := differentialCorpus(t, 2)
+	tbl := PrecomputeTables(sets[0], 0)
+	scaled := cloneScaled(sets[0], 2.0)
+	if _, err := NewAnalyzerWithTables(scaled, Config{Arbiter: FP}, tbl); err == nil {
+		t.Error("period-scaled clone accepted against stale tables")
+	}
+	if _, err := NewAnalyzerWithTables(sets[1], Config{Arbiter: FP}, tbl); err == nil {
+		t.Error("unrelated task set accepted against foreign tables")
+	}
+	if _, err := NewAnalyzerWithTables(sets[0], Config{Arbiter: FP, CRPD: 2}, tbl); err == nil {
+		t.Error("CRPD mismatch accepted")
+	}
+}

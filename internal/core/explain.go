@@ -61,6 +61,11 @@ type Explanation struct {
 	BAS int64
 	// Remote lists per-core BAO contributions (empty for Perfect/TDMA).
 	Remote []RemoteCoreTerm
+	// SlotWait is the TDMA slot-waiting term (m−1)·s·BAS of Eq. (9);
+	// zero for the other arbiters. With it, the decomposition
+	// BAS + SlotWait + Σ Remote.Accesses + Blocking equals BAT for
+	// every arbiter.
+	SlotWait int64
 	// Blocking is the +1 term (and, for FP, the low-priority min term).
 	Blocking int64
 	// BAT is the total access bound; BusTime = BAT·d_mem.
@@ -112,8 +117,10 @@ func Explain(ts *taskmodel.TaskSet, cfg Config, prio int) (*Explanation, error) 
 			CRPD:        ej * g,
 		}
 		if cfg.Persistence {
-			term.AwareDemand = persistence.PersistentDemand(ts, cfg.CPRO, tj.Priority, prio, ti.Core, ej)
-			term.CPRO = persistence.RhoHat(ts, cfg.CPRO, tj.Priority, prio, ti.Core, ej)
+			// Window-aware variants, matching what BAS charges at r so
+			// the decomposition adds up under every CPRO approach.
+			term.AwareDemand = persistence.PersistentDemandWindow(ts, cfg.CPRO, tj.Priority, prio, ti.Core, ej, r)
+			term.CPRO = persistence.RhoHatWindow(ts, cfg.CPRO, tj.Priority, prio, ti.Core, ej, r)
 		}
 		ex.SameCore = append(ex.SameCore, term)
 		ex.CorePreemption += taskmodel.Time(ej) * tj.PD
@@ -147,6 +154,7 @@ func Explain(ts *taskmodel.TaskSet, cfg Config, prio int) (*Explanation, error) 
 	case TDMA:
 		// TDMA charges slot waiting per own access rather than remote
 		// demand; expose it as a single synthetic term.
+		ex.SlotWait = int64(ts.Platform.NumCores-1) * int64(ts.Platform.SlotSize) * ex.BAS
 		ex.Blocking = a.plus1(prio, ti.Core)
 	case Perfect:
 		// no remote interference
@@ -185,6 +193,9 @@ func (e *Explanation) Render(w io.Writer) error {
 			clamp = fmt.Sprintf(" (clamped from %d)", rc.Raw)
 		}
 		fmt.Fprintf(w, "  remote core %d: %d accesses%s\n", rc.Core, rc.Accesses, clamp)
+	}
+	if e.SlotWait > 0 {
+		fmt.Fprintf(w, "  TDMA slot waiting: %d\n", e.SlotWait)
 	}
 	fmt.Fprintf(w, "  blocking term: %d\n", e.Blocking)
 	fmt.Fprintf(w, "  BAT total accesses: %d  -> bus time %d\n", e.BAT, e.BusTime)

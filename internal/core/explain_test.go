@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/fixtures"
+	"repro/internal/persistence"
+	"repro/internal/taskmodel"
 )
 
 func TestExplainFig1Tau2(t *testing.T) {
@@ -83,6 +85,56 @@ func TestExplainDecompositionAllArbiters(t *testing.T) {
 	}
 	if ex.BAT < ex.BAS {
 		t.Errorf("TDMA BAT %d below BAS %d", ex.BAT, ex.BAS)
+	}
+}
+
+func TestExplainDecompositionSumsToBAT(t *testing.T) {
+	// Regression guard for the table refactor: for every arbiter,
+	// persistence mode and CPRO approach, the rendered decomposition
+	// must reconstruct the analyzer's bounds exactly —
+	//   BAS = OwnMD + Σ (AwareDemand + CRPD)
+	//   BAT = BAS + SlotWait + Σ Remote.Accesses + Blocking.
+	sets := []*taskmodel.TaskSet{fixtures.Fig1TaskSet()}
+	sets = append(sets, randomTaskSets(t, 3, 0.4)...)
+	var cfgs []Config
+	for _, arb := range []Arbiter{FP, RR, TDMA, Perfect} {
+		cfgs = append(cfgs, Config{Arbiter: arb})
+		for _, cpro := range []persistence.CPROApproach{
+			persistence.Union, persistence.MultisetUnion,
+			persistence.FullReload, persistence.None,
+		} {
+			cfgs = append(cfgs, Config{Arbiter: arb, Persistence: true, CPRO: cpro})
+		}
+	}
+	for si, ts := range sets {
+		for _, cfg := range cfgs {
+			for _, task := range ts.Tasks {
+				ex, err := Explain(ts, cfg, task.Priority)
+				if err != nil {
+					t.Fatalf("set %d %+v prio %d: %v", si, cfg, task.Priority, err)
+				}
+				bas := ex.OwnMD
+				for _, sc := range ex.SameCore {
+					bas += sc.AwareDemand + sc.CRPD
+				}
+				if ex.BAS != bas {
+					t.Errorf("set %d %+v τ%d: BAS %d != same-core decomposition %d",
+						si, cfg, task.Priority, ex.BAS, bas)
+				}
+				bat := ex.BAS + ex.SlotWait + ex.Blocking
+				for _, rc := range ex.Remote {
+					bat += rc.Accesses
+				}
+				if ex.BAT != bat {
+					t.Errorf("set %d %+v τ%d: BAT %d != decomposition %d",
+						si, cfg, task.Priority, ex.BAT, bat)
+				}
+				if cfg.Arbiter != TDMA && ex.SlotWait != 0 {
+					t.Errorf("set %d %+v τ%d: SlotWait %d outside TDMA",
+						si, cfg, task.Priority, ex.SlotWait)
+				}
+			}
+		}
 	}
 }
 

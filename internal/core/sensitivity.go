@@ -54,12 +54,15 @@ func MaxDMem(ts *taskmodel.TaskSet, cfg Config, limit taskmodel.Time) (taskmodel
 	if limit <= 0 {
 		limit = 1 << 20
 	}
+	// None of the precomputed interference terms depend on d_mem, so one
+	// set of tables serves every probe of the search.
+	tbl := PrecomputeTables(ts, cfg.CRPD)
 	sched := func(d taskmodel.Time) (bool, error) {
-		res, err := Analyze(cloneWithDMem(ts, d), cfg)
+		a, err := NewAnalyzerWithTables(cloneWithDMem(ts, d), cfg, tbl)
 		if err != nil {
 			return false, err
 		}
-		return res.Schedulable, nil
+		return a.Run().Schedulable, nil
 	}
 	ok, err := sched(1)
 	if err != nil {

@@ -75,9 +75,7 @@ func (o Options) withDefaults() Options {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if len(o.Utilizations) == 0 {
-		for u := 0.05; u <= 1.0001; u += 0.05 {
-			o.Utilizations = append(o.Utilizations, u)
-		}
+		o.Utilizations = DefaultUtilizations()
 	}
 	if o.Base.TasksPerCore == 0 {
 		o.Base = taskgen.DefaultConfig()
@@ -140,17 +138,34 @@ func (s *Study) Chart() *textplot.Chart {
 	}
 }
 
-// verdicts analyses one task set under every variant.
-func verdicts(ts *taskmodel.TaskSet, variants []Variant) (map[string]bool, error) {
-	out := make(map[string]bool, len(variants))
-	for _, v := range variants {
-		res, err := core.Analyze(ts, core.Config{Arbiter: v.Arbiter, Persistence: v.Persistence})
-		if err != nil {
-			return nil, err
-		}
-		out[v.Name] = res.Schedulable
+// variantConfigs maps variants to the analysis configurations they
+// run.
+func variantConfigs(variants []Variant) []core.Config {
+	cfgs := make([]core.Config, len(variants))
+	for i, v := range variants {
+		cfgs[i] = core.Config{Arbiter: v.Arbiter, Persistence: v.Persistence}
 	}
-	return out, nil
+	return cfgs
+}
+
+// verdicts analyses one task set under every variant. AnalyzeAll
+// shares the precomputed interference tables across the variants.
+func verdicts(ts *taskmodel.TaskSet, variants []Variant) (map[string]bool, error) {
+	all, err := core.AnalyzeAll(ts, variantConfigs(variants))
+	if err != nil {
+		return nil, err
+	}
+	return verdictMap(all, variants), nil
+}
+
+// verdictMap folds per-config results into the name→schedulable map
+// the series reductions consume.
+func verdictMap(results []*core.Result, variants []Variant) map[string]bool {
+	out := make(map[string]bool, len(variants))
+	for i, v := range variants {
+		out[v.Name] = results[i].Schedulable
+	}
+	return out
 }
 
 // pointJob is one (x-point, utilization, sample-index) work item of a
@@ -166,7 +181,6 @@ type sample struct {
 	pointIdx int
 	util     float64 // actual average per-core utilization
 	verdict  map[string]bool
-	err      error
 }
 
 // sweep generates and analyses TaskSetsPerPoint task sets for every
@@ -196,7 +210,10 @@ func sweep(opts Options, numPoints int,
 		}
 	}
 
-	results := make([]sample, len(jobs))
+	// Phase 1: generate every job's task set. Generation is cheap next
+	// to analysis but still worth parallelising.
+	sets := make([]*taskmodel.TaskSet, len(jobs))
+	genErrs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < opts.Workers; w++ {
@@ -211,19 +228,8 @@ func sweep(opts Options, numPoints int,
 				// swept parameter value sees the same random task sets
 				// (paired samples), so series differ only through the
 				// analysis, not the sample.
-				seed := opts.Seed + int64(j.sample)*7919 + int64(j.util*1e6)
-				ts, err := taskgen.Generate(cfg, pools[j.pointIdx], rand.New(rand.NewSource(seed)))
-				if err != nil {
-					results[ji] = sample{err: err}
-					continue
-				}
-				v, err := verdicts(ts, variants)
-				results[ji] = sample{
-					pointIdx: j.pointIdx,
-					util:     ts.TotalUtilization() / float64(cfg.Platform.NumCores),
-					verdict:  v,
-					err:      err,
-				}
+				seed := seedFor(opts.Seed, j.sample, j.util)
+				sets[ji], genErrs[ji] = taskgen.Generate(cfg, pools[j.pointIdx], rand.New(rand.NewSource(seed)))
 			}
 		}()
 	}
@@ -232,13 +238,32 @@ func sweep(opts Options, numPoints int,
 	}
 	close(work)
 	wg.Wait()
+	for _, err := range genErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: analyse every set under every variant through the
+	// shared worker pool. Within one request AnalyzeAll reuses the
+	// precomputed interference tables across the variants.
+	varCfgs := variantConfigs(variants)
+	reqs := make([]core.BatchRequest, len(jobs))
+	for ji, ts := range sets {
+		reqs[ji] = core.BatchRequest{TS: ts, Cfgs: varCfgs}
+	}
+	all, err := core.AnalyzeBatch(reqs, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
 
 	perPoint := make([][]sample, numPoints)
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		perPoint[r.pointIdx] = append(perPoint[r.pointIdx], r)
+	for ji, j := range jobs {
+		perPoint[j.pointIdx] = append(perPoint[j.pointIdx], sample{
+			pointIdx: j.pointIdx,
+			util:     sets[ji].TotalUtilization() / float64(cfgs[j.pointIdx].Platform.NumCores),
+			verdict:  verdictMap(all[ji], variants),
+		})
 	}
 	return perPoint, nil
 }

@@ -26,14 +26,16 @@ func ExtCRPD(opts Options) (*Study, error) {
 	}
 
 	series := make([]textplot.Series, len(approaches))
+	anaCfgs := make([]core.Config, len(approaches))
 	for i, ap := range approaches {
 		series[i] = textplot.Series{Name: ap.String(), Values: make([]float64, len(opts.Utilizations))}
+		anaCfgs[i] = core.Config{Arbiter: core.RR, Persistence: true, CRPD: ap}
 	}
 
 	for ui, util := range opts.Utilizations {
 		obs := make([][]stats.Observation, len(approaches))
 		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
-			seed := opts.Seed + int64(sample)*7919 + int64(util*1e6)
+			seed := seedFor(opts.Seed, sample, util)
 			cfg := opts.Base
 			cfg.CoreUtilization = util
 			ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
@@ -41,11 +43,11 @@ func ExtCRPD(opts Options) (*Study, error) {
 				return nil, err
 			}
 			u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
-			for ai, ap := range approaches {
-				res, err := core.Analyze(ts, core.Config{Arbiter: core.RR, Persistence: true, CRPD: ap})
-				if err != nil {
-					return nil, err
-				}
+			all, err := core.AnalyzeAll(ts, anaCfgs)
+			if err != nil {
+				return nil, err
+			}
+			for ai, res := range all {
 				obs[ai] = append(obs[ai], stats.Observation{Utilization: u, Schedulable: res.Schedulable})
 			}
 		}
@@ -91,7 +93,7 @@ func ExtPartition(opts Options) (*Study, error) {
 	for ui, util := range opts.Utilizations {
 		obs := make([][]stats.Observation, len(names))
 		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
-			seed := opts.Seed + int64(sample)*7919 + int64(util*1e6)
+			seed := seedFor(opts.Seed, sample, util)
 			cfg := opts.Base
 			cfg.CoreUtilization = util
 			ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
@@ -153,7 +155,7 @@ func ExtOPA(opts Options) (*Study, error) {
 	for ui, util := range opts.Utilizations {
 		var dmObs, opaObs []stats.Observation
 		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
-			seed := opts.Seed + int64(sample)*7919 + int64(util*1e6)
+			seed := seedFor(opts.Seed, sample, util)
 			cfg := opts.Base
 			cfg.CoreUtilization = util
 			ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
@@ -216,6 +218,10 @@ func ExtGen(opts Options) (*Study, error) {
 		{"RR", core.Config{Arbiter: core.RR}},
 		{"RR-CP", core.Config{Arbiter: core.RR, Persistence: true}},
 	}
+	anaCfgs := make([]core.Config, len(anas))
+	for ai, a := range anas {
+		anaCfgs[ai] = a.cfg
+	}
 	var series []textplot.Series
 	for range modes {
 		for range anas {
@@ -233,7 +239,7 @@ func ExtGen(opts Options) (*Study, error) {
 	for ui, util := range opts.Utilizations {
 		obs := make([][]stats.Observation, len(series))
 		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
-			seed := opts.Seed + int64(sample)*7919 + int64(util*1e6)
+			seed := seedFor(opts.Seed, sample, util)
 			for mi, m := range modes {
 				cfg := opts.Base
 				cfg.CoreUtilization = util
@@ -243,11 +249,11 @@ func ExtGen(opts Options) (*Study, error) {
 					return nil, err
 				}
 				u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
-				for ai, a := range anas {
-					res, err := core.Analyze(ts, a.cfg)
-					if err != nil {
-						return nil, err
-					}
+				all, err := core.AnalyzeAll(ts, anaCfgs)
+				if err != nil {
+					return nil, err
+				}
+				for ai, res := range all {
 					idx := mi*len(anas) + ai
 					obs[idx] = append(obs[idx], stats.Observation{Utilization: u, Schedulable: res.Schedulable})
 				}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/taskgen"
+)
+
+// TestSeedForUnique: across a paper-scale grid — 1000 samples × the
+// 20-step utilization grid, for several base seeds — no two jobs may
+// share an RNG seed. The former linear formula failed this at a few
+// hundred samples.
+func TestSeedForUnique(t *testing.T) {
+	utils := DefaultUtilizations()
+	for _, base := range []int64{0, 1, 42, -7, 1 << 40} {
+		seen := make(map[int64][2]int, 1000*len(utils))
+		for sample := 0; sample < 1000; sample++ {
+			for ui, u := range utils {
+				s := seedFor(base, sample, u)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("base %d: seed collision between (sample %d, util %g) and (sample %d, util %g)",
+						base, sample, u, prev[0], utils[prev[1]])
+				}
+				seen[s] = [2]int{sample, ui}
+			}
+		}
+	}
+}
+
+// TestSeedForDistinctBases: different base seeds must produce disjoint
+// job seeds (spot check), and the derivation must be deterministic.
+func TestSeedForDistinctBases(t *testing.T) {
+	if seedFor(1, 3, 0.25) != seedFor(1, 3, 0.25) {
+		t.Fatal("seedFor is not deterministic")
+	}
+	if seedFor(1, 3, 0.25) == seedFor(2, 3, 0.25) {
+		t.Error("base seed does not influence the job seed")
+	}
+	if seedFor(1, 3, 0.25) == seedFor(1, 4, 0.25) {
+		t.Error("sample index does not influence the job seed")
+	}
+	if seedFor(1, 3, 0.25) == seedFor(1, 3, 0.30) {
+		t.Error("utilization does not influence the job seed")
+	}
+}
+
+// TestDefaultUtilizations pins the exact grid: twenty steps of
+// exactly 0.05, no float drift.
+func TestDefaultUtilizations(t *testing.T) {
+	want := []float64{
+		0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+		0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00,
+	}
+	got := DefaultUtilizations()
+	if len(got) != len(want) {
+		t.Fatalf("grid has %d steps, want %d", len(got), len(want))
+	}
+	for i, u := range got {
+		// Exact equality on purpose: the grid must match the literal
+		// constants bit for bit (an accumulating loop yields
+		// 0.15000000000000002 at step 3).
+		if u != want[i] {
+			t.Errorf("step %d = %v, want %v", i, u, want[i])
+		}
+	}
+}
+
+// TestVerdictsMatchesAnalyze: the shared-tables verdicts helper must
+// agree with independent per-variant analyses.
+func TestVerdictsMatchesAnalyze(t *testing.T) {
+	base := taskgen.DefaultConfig()
+	base.Platform.NumCores = 2
+	base.TasksPerCore = 4
+	base.CoreUtilization = 0.4
+	pool, err := taskgen.PoolFromSuite(base.Platform.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := taskgen.Generate(base, pool, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := PaperVariants()
+	got, err := verdicts(ts, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants {
+		res, err := core.Analyze(ts, core.Config{Arbiter: v.Arbiter, Persistence: v.Persistence})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[v.Name] != res.Schedulable {
+			t.Errorf("%s: verdicts %v, Analyze %v", v.Name, got[v.Name], res.Schedulable)
+		}
+	}
+}

@@ -106,11 +106,11 @@ func Write(w io.Writer, ts *taskmodel.TaskSet, opts Options) error {
 		ref.Arbiter, refName)
 	cell := func(res *core.Result, i int) string {
 		tr := res.Tasks[i]
+		if !tr.Verified {
+			return "n/a" // aborted before judging this task
+		}
 		if !tr.Schedulable {
 			return "miss"
-		}
-		if !res.Complete {
-			return "n/a"
 		}
 		return fmt.Sprint(tr.WCRT)
 	}
