@@ -1,0 +1,171 @@
+// Command benchjson runs the repository benchmarks and records the
+// results as machine-readable JSON, one file per invocation, so runs
+// can be diffed across commits (the CI smoke-bench uploads the file as
+// an artifact).
+//
+// Usage:
+//
+//	benchjson                        # bench ./... 1x -> BENCH_<date>.json
+//	benchjson -bench Fig -benchtime 2s -out bench.json
+//	go test -bench . -benchmem ./... | benchjson -in -
+//
+// With -in, no benchmarks are run: existing `go test -bench -benchmem`
+// output is parsed instead (use - for stdin).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	Command    string      `json:"command,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseBench extracts benchmark lines from `go test -bench -benchmem`
+// output. Lines that are not benchmark results (test chatter, pkg
+// headers, PASS/ok) are ignored.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: f[0], Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+				ok = true
+			case "B/op":
+				b.BytesPerOp = int64(v)
+			case "allocs/op":
+				b.AllocsPerOp = int64(v)
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+func run() error {
+	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
+	bench := flag.String("bench", ".", "benchmark regexp (go test -bench)")
+	benchtime := flag.String("benchtime", "1x", "per-benchmark time or count (go test -benchtime)")
+	count := flag.Int("count", 1, "repetitions (go test -count)")
+	in := flag.String("in", "", "parse existing bench output from this file instead of running (- for stdin)")
+	out := flag.String("out", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
+	flag.Parse()
+
+	rep := Report{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	var raw io.Reader
+	if *in != "" {
+		if *in == "-" {
+			raw = os.Stdin
+		} else {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			raw = f
+		}
+	} else {
+		args := []string{"test", *pkg, "-run", "^$",
+			"-bench", *bench, "-benchtime", *benchtime, "-benchmem",
+			"-count", strconv.Itoa(*count)}
+		rep.Command = "go " + strings.Join(args, " ")
+		fmt.Fprintln(os.Stderr, "benchjson:", rep.Command)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test: %w", err)
+		}
+		// Echo the raw output so CI logs keep the human-readable view.
+		os.Stdout.Write(outBytes)
+		raw = strings.NewReader(string(outBytes))
+	}
+
+	benches, err := parseBench(raw)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark results found")
+	}
+	rep.Benchmarks = benches
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(benches))
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Some CPU @ 2.00GHz
+BenchmarkAnalyzerFP/base-8         	    5000	    244123 ns/op	   98432 B/op	    1019 allocs/op
+BenchmarkAnalyzerFP/persist-8      	    3000	    406000 ns/op	  120000 B/op	    1500 allocs/op
+BenchmarkNoMem-8                   	 1000000	      1042 ns/op
+PASS
+ok  	repro/internal/core	12.3s
+--- BENCH: some chatter
+Benchmark 12 not-a-line
+`
+	got, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	b := got[0]
+	if b.Name != "BenchmarkAnalyzerFP/base-8" || b.Iterations != 5000 ||
+		b.NsPerOp != 244123 || b.BytesPerOp != 98432 || b.AllocsPerOp != 1019 {
+		t.Errorf("first benchmark parsed wrong: %+v", b)
+	}
+	if got[2].Name != "BenchmarkNoMem-8" || got[2].NsPerOp != 1042 ||
+		got[2].BytesPerOp != 0 || got[2].AllocsPerOp != 0 {
+		t.Errorf("no-benchmem line parsed wrong: %+v", got[2])
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-bench output, want 0", len(got))
+	}
+}
+
+func TestParseBenchFractionalNs(t *testing.T) {
+	got, err := parseBench(strings.NewReader(
+		"BenchmarkTiny-4   \t 200000000 \t 6.02 ns/op \t 0 B/op \t 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].NsPerOp != 6.02 {
+		t.Fatalf("fractional ns/op parsed wrong: %+v", got)
+	}
+}

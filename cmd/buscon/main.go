@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crpd"
 	"repro/internal/persistence"
+	"repro/internal/profiling"
 	"repro/internal/taskmodel"
 )
 
@@ -70,7 +71,9 @@ func parseCPRO(s string) (persistence.CPROApproach, error) {
 	}
 }
 
-func run() error {
+// run returns the process exit code (0 ok, 2 not schedulable) so that
+// deferred cleanup — profile flushing in particular — runs before exit.
+func run() (int, error) {
 	in := flag.String("in", "", "task set JSON file (required; - for stdin)")
 	arbS := flag.String("arbiter", "rr", "bus arbiter: fp, rr, tdma or perfect")
 	persist := flag.Bool("persistence", false, "enable the cache persistence-aware analysis (Lemmas 1-2)")
@@ -78,11 +81,23 @@ func run() error {
 	cproS := flag.String("cpro", "union", "CPRO approach: union, multiset, full, none")
 	compare := flag.Bool("compare", false, "also run the opposite persistence setting and print both")
 	explain := flag.Int("explain", -1, "decompose the WCRT bound of the task with this priority")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return 1, err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "buscon:", perr)
+		}
+	}()
 
 	if *in == "" {
 		flag.Usage()
-		return fmt.Errorf("missing -in")
+		return 1, fmt.Errorf("missing -in")
 	}
 	var f *os.File
 	if *in == "-" {
@@ -91,32 +106,32 @@ func run() error {
 		var err error
 		f, err = os.Open(*in)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		defer f.Close()
 	}
 	ts, err := taskmodel.ReadJSON(f)
 	if err != nil {
-		return err
+		return 1, err
 	}
 
 	arb, err := parseArbiter(*arbS)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	crpdAp, err := parseCRPD(*crpdS)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	cproAp, err := parseCPRO(*cproS)
 	if err != nil {
-		return err
+		return 1, err
 	}
 
 	cfg := core.Config{Arbiter: arb, Persistence: *persist, CRPD: crpdAp, CPRO: cproAp}
 	res, err := core.Analyze(ts, cfg)
 	if err != nil {
-		return err
+		return 1, err
 	}
 
 	var other *core.Result
@@ -124,7 +139,7 @@ func run() error {
 		otherCfg := cfg
 		otherCfg.Persistence = !cfg.Persistence
 		if other, err = core.Analyze(ts, otherCfg); err != nil {
-			return err
+			return 1, err
 		}
 	}
 
@@ -164,7 +179,7 @@ func run() error {
 		}
 	}
 	if err := tw.Flush(); err != nil {
-		return err
+		return 1, err
 	}
 
 	fmt.Printf("\nbus utilization: %.3f\n", ts.BusUtilization())
@@ -179,22 +194,26 @@ func run() error {
 	if *explain >= 0 {
 		ex, err := core.Explain(ts, cfg, *explain)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		fmt.Println()
 		if err := ex.Render(os.Stdout); err != nil {
-			return err
+			return 1, err
 		}
 	}
 	if !res.Schedulable {
-		os.Exit(2)
+		return 2, nil
 	}
-	return nil
+	return 0, nil
 }
 
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "buscon:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }

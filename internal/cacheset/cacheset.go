@@ -132,6 +132,14 @@ func (s Set) Intersect(t Set) Set {
 	return r
 }
 
+// IntersectInPlace sets s = s ∩ t, avoiding an allocation.
+func (s Set) IntersectInPlace(t Set) {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
 // Difference returns s \ t as a new set.
 func (s Set) Difference(t Set) Set {
 	s.check(t)
@@ -140,6 +148,27 @@ func (s Set) Difference(t Set) Set {
 		r.words[i] &^= w
 	}
 	return r
+}
+
+// DifferenceInPlace sets s = s \ t, avoiding an allocation.
+func (s Set) DifferenceInPlace(t Set) {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// CopyFrom overwrites s with the contents of t, avoiding an allocation.
+func (s Set) CopyFrom(t Set) {
+	s.check(t)
+	copy(s.words, t.words)
+}
+
+// Clear removes every element, keeping the capacity.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
 }
 
 // IntersectCount returns |s ∩ t| without allocating.

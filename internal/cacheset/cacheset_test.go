@@ -305,3 +305,102 @@ func TestQuickSetAlgebra(t *testing.T) {
 		}
 	})
 }
+
+func TestInPlaceVariantsMatchAllocating(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(genTriple(r))
+		},
+	}
+	t.Run("intersect", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			got := tr.a.Clone()
+			got.IntersectInPlace(tr.b)
+			return got.Equal(tr.a.Intersect(tr.b))
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("difference", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			got := tr.a.Clone()
+			got.DifferenceInPlace(tr.b)
+			return got.Equal(tr.a.Difference(tr.b))
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("copy and clear", func(t *testing.T) {
+		if err := quick.Check(func(tr triple) bool {
+			got := tr.a.Clone()
+			got.CopyFrom(tr.b)
+			if !got.Equal(tr.b) {
+				return false
+			}
+			got.Clear()
+			return got.IsEmpty() && got.Capacity() == tr.b.Capacity()
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestInPlaceCapacityMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(a, b Set){
+		"IntersectInPlace":  func(a, b Set) { a.IntersectInPlace(b) },
+		"DifferenceInPlace": func(a, b Set) { a.DifferenceInPlace(b) },
+		"CopyFrom":          func(a, b Set) { a.CopyFrom(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s across capacities did not panic", name)
+				}
+			}()
+			f(New(64), New(128))
+		}()
+	}
+}
+
+// TestHotOpsDoNotAllocate pins the allocation-free contract of the
+// operations used inside the analyzer's fixed-point loop and table
+// fills: counting intersections and mutating in place must never
+// touch the heap.
+func TestHotOpsDoNotAllocate(t *testing.T) {
+	a := Of(256, 1, 64, 65, 130, 200, 255)
+	b := Of(256, 0, 64, 129, 130, 254)
+	c := Of(256, 2, 65, 128, 200)
+	scratch := New(256)
+	sink := 0
+	for name, f := range map[string]func(){
+		"IntersectCount":      func() { sink += a.IntersectCount(b) },
+		"IntersectCountUnion": func() { sink += a.IntersectCountUnion(b, c) },
+		"Intersects": func() {
+			if a.Intersects(b) {
+				sink++
+			}
+		},
+		"Count": func() { sink += a.Count() },
+		"SubsetOf": func() {
+			if a.SubsetOf(b) {
+				sink++
+			}
+		},
+		"Equal": func() {
+			if a.Equal(b) {
+				sink++
+			}
+		},
+		"UnionInPlace":      func() { scratch.UnionInPlace(b) },
+		"IntersectInPlace":  func() { scratch.IntersectInPlace(c) },
+		"DifferenceInPlace": func() { scratch.DifferenceInPlace(b) },
+		"CopyFrom":          func() { scratch.CopyFrom(a) },
+		"Clear":             func() { scratch.Clear() },
+	} {
+		if avg := testing.AllocsPerRun(100, f); avg != 0 {
+			t.Errorf("%s allocates %v times per call, want 0", name, avg)
+		}
+	}
+	_ = sink
+}

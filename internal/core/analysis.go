@@ -137,6 +137,20 @@ type Analyzer struct {
 	R map[int]taskmodel.Time
 
 	tab *Tables
+	// fps holds each level's persistent cursor state of the
+	// event-driven fixed point (curves.go); fp points at the state of
+	// the level currently under analysis. Reuse across ResponseTime
+	// calls makes the inner loop allocation-free and lets re-analyses
+	// resume instead of rebuild.
+	fps []fpState
+	fp  *fpState
+	// rd mirrors R densely by table index while Run is executing
+	// (rdLive); the reset path reads thousands of remote estimates per
+	// analysis and the map hashing would dominate it. Callers that
+	// write R directly and invoke ResponseTime themselves (the OPA
+	// probe, tests) bypass the mirror and read the map.
+	rd     []taskmodel.Time
+	rdLive bool
 }
 
 // NewAnalyzer validates the task set and prepares an analyzer with
@@ -165,6 +179,13 @@ func NewAnalyzerWithTables(ts *taskmodel.TaskSet, cfg Config, tbl *Tables) (*Ana
 	if err := tbl.compatible(ts); err != nil {
 		return nil, err
 	}
+	return newAnalyzerChecked(ts, cfg, tbl), nil
+}
+
+// newAnalyzerChecked skips the validation and compatibility checks for
+// callers that already performed them (AnalyzeAll runs one validation
+// for the whole config list and builds the tables from ts itself).
+func newAnalyzerChecked(ts *taskmodel.TaskSet, cfg Config, tbl *Tables) *Analyzer {
 	if cfg.MaxOuterIterations == 0 {
 		cfg.MaxOuterIterations = 64
 	}
@@ -177,7 +198,7 @@ func NewAnalyzerWithTables(ts *taskmodel.TaskSet, cfg Config, tbl *Tables) (*Ana
 	for _, t := range ts.Tasks {
 		a.R[t.Priority] = t.PD + taskmodel.Time(t.MD)*ts.Platform.DMem
 	}
-	return a, nil
+	return a
 }
 
 // gamma returns γ_{i,j,core} under the configured CRPD approach, from
@@ -486,27 +507,37 @@ func (a *Analyzer) BAT(i int, t taskmodel.Time) int64 {
 // false. The iteration starts from the larger of the seed
 // PD_i + MD_i·d_mem and the current estimate R[i] (the outer loop is
 // monotone, so restarting lower would waste iterations).
+//
+// The iteration is event-driven (curves.go): every interference term
+// is tracked as a breakpoint curve whose cursor only moves forward, so
+// re-evaluating the recurrence after the first pass costs only the
+// breakpoints actually crossed, and an iterate that crosses none
+// terminates the loop immediately. The iterate chain — and with it
+// every returned value, including the deadline-exceeding abort
+// estimate — is exactly the naive chain of AnalyzeReference.
 func (a *Analyzer) ResponseTime(i int) (taskmodel.Time, bool) {
 	ti := a.TS.ByPriority(i)
-	var hp []taskRef
-	if ii, ok := a.tab.prioIdx[i]; ok {
-		hp = a.tab.row(ii).hp
-	} else {
-		for _, tj := range a.TS.HP(i, ti.Core) {
-			hp = append(hp, taskRef{t: tj})
-		}
+	ii, ok := a.tab.prioIdx[i]
+	if !ok {
+		// Off-table priority (not produced by the analysis itself):
+		// fall back to direct re-evaluation.
+		return a.responseTimeDirect(i, ti)
 	}
 	dmem := a.TS.Platform.DMem
 	r := ti.PD + taskmodel.Time(ti.MD)*dmem
-	if cur := a.R[i]; cur > r {
+	var cur taskmodel.Time
+	if a.rdLive {
+		cur = a.rd[ii]
+	} else {
+		cur = a.R[i]
+	}
+	if cur > r {
 		r = cur
 	}
+	a.fpReset(ii, ti.Core, r)
+	hasLP := a.tab.row(ii).hasLP
 	for {
-		var interference taskmodel.Time
-		for _, ref := range hp {
-			interference += taskmodel.Time(ceilDiv(int64(r), int64(ref.t.Period))) * ref.t.PD
-		}
-		next := ti.PD + interference + taskmodel.Time(a.BAT(i, r))*dmem
+		next := ti.PD + a.fp.procSum + taskmodel.Time(a.fpBAT(ti.MD, ti.Core, hasLP))*dmem
 		if next > ti.Deadline {
 			return next, false
 		}
@@ -518,6 +549,45 @@ func (a *Analyzer) ResponseTime(i int) (taskmodel.Time, bool) {
 			// from starting above the least fixed point (stale outer
 			// estimate), in which case the current r remains a valid
 			// bound.
+			return r, true
+		}
+		if next < a.fp.minNext {
+			// Breakpoint jump: no interference term changes in
+			// (r, next], so f is constant there and f(next) = f(r) =
+			// next — next is the least fixed point (≤ the deadline,
+			// checked above). This is where whole stretches of the
+			// naive chain collapse into one step. The cursors stay
+			// valid at next, where the outer loop will resume.
+			a.fp.at = next
+			return next, true
+		}
+		a.fpAdvance(next)
+		r = next
+	}
+}
+
+// responseTimeDirect is the pre-curve iteration, retained for queries
+// at priority levels outside the precomputed tables.
+func (a *Analyzer) responseTimeDirect(i int, ti *taskmodel.Task) (taskmodel.Time, bool) {
+	hp := a.TS.HP(i, ti.Core)
+	dmem := a.TS.Platform.DMem
+	r := ti.PD + taskmodel.Time(ti.MD)*dmem
+	if cur := a.R[i]; cur > r {
+		r = cur
+	}
+	for {
+		var interference taskmodel.Time
+		for _, tj := range hp {
+			interference += taskmodel.Time(ceilDiv(int64(r), int64(tj.Period))) * tj.PD
+		}
+		next := ti.PD + interference + taskmodel.Time(a.BAT(i, r))*dmem
+		if next > ti.Deadline {
+			return next, false
+		}
+		if next == r {
+			return r, true
+		}
+		if next < r {
 			return r, true
 		}
 		r = next
@@ -583,6 +653,17 @@ func (a *Analyzer) Run() *Result {
 	for i := range dirty {
 		dirty[i] = true
 	}
+	// Activate the dense response-time mirror for the duration of the
+	// loop; entry points that seed R directly keep using the map.
+	if cap(a.rd) < len(a.TS.Tasks) {
+		a.rd = make([]taskmodel.Time, len(a.TS.Tasks))
+	}
+	a.rd = a.rd[:len(a.TS.Tasks)]
+	for idx, t := range a.TS.Tasks {
+		a.rd[idx] = a.R[t.Priority]
+	}
+	a.rdLive = true
+	defer func() { a.rdLive = false }()
 	converged := false
 	for iter := 0; iter < a.Cfg.MaxOuterIterations; iter++ {
 		res.OuterIterations = iter + 1
@@ -595,10 +676,12 @@ func (a *Analyzer) Run() *Result {
 			r, ok := a.ResponseTime(t.Priority)
 			if !ok {
 				a.R[t.Priority] = r
+				a.rd[idx] = r
 				return a.fail(res, t.Priority, true)
 			}
-			if r != a.R[t.Priority] {
+			if r != a.rd[idx] {
 				a.R[t.Priority] = r
+				a.rd[idx] = r
 				changed = true
 				a.markDependents(idx, dirty)
 			}
@@ -614,6 +697,7 @@ func (a *Analyzer) Run() *Result {
 		// was proven about any individual task.
 		return a.fail(res, a.TS.LowestPriority(), false)
 	}
+	res.Tasks = make([]TaskResult, 0, len(a.TS.Tasks))
 	for _, t := range a.TS.Tasks {
 		res.Tasks = append(res.Tasks, TaskResult{
 			Name: t.Name, Priority: t.Priority, Core: t.Core,
@@ -648,6 +732,7 @@ func (a *Analyzer) markDependents(idx int, dirty []bool) {
 func (a *Analyzer) fail(res *Result, failPrio int, proven bool) *Result {
 	res.Schedulable = false
 	res.Complete = false
+	res.Tasks = make([]TaskResult, 0, len(a.TS.Tasks))
 	for _, t := range a.TS.Tasks {
 		res.Tasks = append(res.Tasks, TaskResult{
 			Name: t.Name, Priority: t.Priority, Core: t.Core,
@@ -686,11 +771,9 @@ func AnalyzeAll(ts *taskmodel.TaskSet, cfgs []Config) ([]*Result, error) {
 			tbl = PrecomputeTables(ts, cfg.CRPD)
 			tables[cfg.CRPD] = tbl
 		}
-		a, err := NewAnalyzerWithTables(ts, cfg, tbl)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = a.Run()
+		// The set was validated above and the tables were built from it,
+		// so the per-analyzer checks are redundant.
+		out[i] = newAnalyzerChecked(ts, cfg, tbl).Run()
 	}
 	return out, nil
 }

@@ -1,0 +1,559 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/persistence"
+	"repro/internal/taskmodel"
+)
+
+// Event-driven fixed-point engine.
+//
+// Every interference term of Eq. (19) — the processor preemption sum,
+// the same-core access bounds of Eq. (1)/Lemma 1 and the remote
+// W + W_cout terms of Eq. (3)–(6)/Lemma 2 — is a right-continuous
+// monotone step function of the window length t. Its value only
+// changes at breakpoints: job-release multiples n·T_j of the
+// interfering task, the d_mem-granular steps of the carry-out ramp,
+// and (under the multiset CPRO bound) the release multiples of each
+// evictor. Between breakpoints the whole recurrence right-hand side
+// f(t) is constant.
+//
+// The engine represents each term as a breakpoint curve: the
+// loop-invariant constants (termCurve, materialized lazily per
+// (level, task, core) into the Tables and shared across every
+// configuration with the same CRPD approach) plus a moving cursor
+// holding the term's current value and the smallest t at which that
+// value may change. Cursors only move forward — the fixed-point
+// iterate is monotone non-decreasing — so one pass over the
+// breakpoints in [seed, R] suffices. Evaluating f at a new iterate
+// costs O(#crossed breakpoints) instead of O(#tasks); an iterate that
+// crosses none is recognized in O(1) via the cached minimum
+// next-breakpoint, in which case f(next) = f(r) = next and the
+// iteration terminates immediately — the "breakpoint jump" that makes
+// the recurrence converge in at most one evaluation per breakpoint
+// region.
+//
+// Soundness of the skip: a cursor's next-breakpoint is always a lower
+// bound on the true next change (it may fire early and recompute an
+// unchanged value, never late), so a skipped re-evaluation provably
+// returns the cached value. The iterate sequence is therefore exactly
+// the naive chain r, f(r), f²(r), … of reference.go — including the
+// deadline-abort value — which is what keeps the differential test
+// bit-identical. See DESIGN.md ("Breakpoint-jumping fixed point").
+
+const maxTime = taskmodel.Time(math.MaxInt64)
+
+// termCurve is one interference curve's loop-invariant backbone: the
+// interfering task's scalar parameters plus its filled pair-table
+// entry at the curve's analysis level. Everything the step function
+// needs except the current iterate t and (for remote terms) the
+// remote response-time estimate R_l, which the cursor captures at
+// reset. The task pointer refers to the tables' task set; by the
+// compatibility contract its scalar parameters match the analyzer's
+// (only d_mem may differ, and that is read from the analyzer).
+type termCurve struct {
+	t *taskmodel.Task
+	p *pairTab
+	// pcb caches |PCB_j| for the FullReload CPRO bound.
+	pcb int64
+	// idx is the interfering task's table index — the key into the
+	// analyzer's dense response-time mirror.
+	idx int32
+}
+
+// levelCurves materializes one analysis level's interference curves,
+// mirroring the row's hp/hep/lp slices (same tasks, same order — the
+// summation order of bas/bao/BAOLow, kept identical so the engine
+// reproduces their arithmetic exactly). Like the pair tables the
+// build is lazy — per level, per core, per column: TDMA and Perfect
+// never pay for remote curves, and persistence-oblivious
+// configurations never pay for the CPRO fills.
+type levelCurves struct {
+	// same covers hp(i) on the task's own core: the processor
+	// preemption term of Eq. (19) and the BAS term of Eq. (1)/Lemma 1.
+	same []termCurve
+	// remote[y]/low[y] cover hep(i)∩Γ_y and lp(i)∩Γ_y: the BAO and
+	// BAO_low terms of Eq. (3)–(7). Built per core on first use, all
+	// subsliced from the flat backing at the tables' coreOff offsets.
+	remote [][]termCurve
+	low    [][]termCurve
+	flat   []termCurve
+
+	sameBuilt     bool
+	samePersist   bool
+	remoteBuilt   []bool
+	remotePersist []bool
+}
+
+func (tb *Tables) levelCurves(ii int) *levelCurves {
+	if tb.curves == nil {
+		tb.curves = make([]levelCurves, len(tb.tasks))
+	}
+	lc := &tb.curves[ii]
+	if lc.remoteBuilt == nil {
+		m := tb.ts.Platform.NumCores
+		hdr := make([][]termCurve, 2*m)
+		lc.remote, lc.low = hdr[:m:m], hdr[m:]
+		flags := make([]bool, 2*m)
+		lc.remoteBuilt, lc.remotePersist = flags[:m:m], flags[m:]
+	}
+	return lc
+}
+
+// curveSame returns level ii's same-core curves, built on first use.
+// With persist set, the pair entries are additionally brought to CPRO
+// depth (a no-op once done).
+func (tb *Tables) curveSame(ii int, persist bool) []termCurve {
+	lc := tb.levelCurves(ii)
+	r := tb.row(ii)
+	if !lc.sameBuilt {
+		lc.same = make([]termCurve, len(r.hp))
+		for k, ref := range r.hp {
+			lc.same[k] = termCurve{t: ref.t, p: tb.pair(ii, r, ref.idx), pcb: tb.pcb[ref.idx], idx: int32(ref.idx)}
+		}
+		lc.sameBuilt = true
+	}
+	if persist && !lc.samePersist {
+		for _, ref := range r.hp {
+			tb.pairPersist(ii, r, ref.idx)
+		}
+		lc.samePersist = true
+	}
+	return lc.same
+}
+
+// curveRemote returns level ii's hep and lp curves on core y, built on
+// first use.
+func (tb *Tables) curveRemote(ii, y int, persist bool) (remote, low []termCurve) {
+	lc := tb.levelCurves(ii)
+	r := tb.row(ii)
+	if !lc.remoteBuilt[y] {
+		if lc.flat == nil {
+			lc.flat = make([]termCurve, len(tb.tasks))
+		}
+		part := lc.flat[tb.coreOff[y]:tb.coreOff[y]]
+		for _, ref := range r.hep[y] {
+			part = append(part, termCurve{t: ref.t, p: tb.pair(ii, r, ref.idx), pcb: tb.pcb[ref.idx], idx: int32(ref.idx)})
+		}
+		for _, ref := range r.lp[y] {
+			part = append(part, termCurve{t: ref.t, p: tb.pair(ii, r, ref.idx), pcb: tb.pcb[ref.idx], idx: int32(ref.idx)})
+		}
+		n := len(r.hep[y])
+		lc.remote[y] = part[:n:n]
+		lc.low[y] = part[n:]
+		lc.remoteBuilt[y] = true
+	}
+	if persist && !lc.remotePersist[y] {
+		for _, ref := range r.hep[y] {
+			tb.pairPersist(ii, r, ref.idx)
+		}
+		for _, ref := range r.lp[y] {
+			tb.pairPersist(ii, r, ref.idx)
+		}
+		lc.remotePersist[y] = true
+	}
+	return lc.remote[y], lc.low[y]
+}
+
+// sameCursor tracks one same-core task's pair of step functions: the
+// processor preemption term ⌈t/T_j⌉·PD_j and the BAS access term.
+// Both share the release breakpoints of τ_j, so one cursor serves
+// both.
+type sameCursor struct {
+	tc      *termCurve
+	procVal taskmodel.Time
+	basVal  int64
+	// next is the smallest t at which either value may change.
+	next taskmodel.Time
+}
+
+// remoteCursor tracks one remote task's W + W_cout step function at
+// the cursor's analysis level.
+type remoteCursor struct {
+	tc *termCurve
+	// c is R_l − (MD_l+γ)·d_mem, the response-time-dependent offset of
+	// Eq. (6), fixed for the duration of one inner fixed point.
+	c    int64
+	val  int64
+	next taskmodel.Time
+	// core indexes the per-core sum the value feeds; low selects the
+	// BAO_low sum (FP blocking) over the BAO sum.
+	core int32
+	low  bool
+}
+
+// fpState is one analyzed task's cursor state, kept per level for the
+// analyzer's lifetime. Because the outer loop is monotone — each
+// re-analysis of a task resumes from its own previous fixed point, and
+// remote estimates only grow — the cursors stay valid across
+// ResponseTime calls: a re-analysis triggered by a changed remote
+// estimate re-evaluates only the remote terms whose R_l actually moved
+// (the markDependents invariant made concrete). All slices are reused,
+// so the inner fixed point allocates nothing once the analyzer is warm
+// (pinned by the allocs regression test).
+type fpState struct {
+	same    []sameCursor
+	remote  []remoteCursor
+	baoSum  []int64
+	lowSum  []int64
+	procSum taskmodel.Time
+	basSum  int64
+	// minNext is the smallest next-breakpoint over all cursors: below
+	// it, every term — and hence f — is provably constant.
+	minNext taskmodel.Time
+	// at is the iterate the cursor values are currently valid at; a
+	// reset whose seed equals at reuses them wholesale.
+	at    taskmodel.Time
+	valid bool
+}
+
+// persistentDemandCurve is persistentDemand evaluated from curve
+// constants: the same arithmetic, term for term, so both paths produce
+// bit-identical values.
+func (a *Analyzer) persistentDemandCurve(tc *termCurve, n int64, t taskmodel.Time) int64 {
+	if n <= 0 {
+		return 0
+	}
+	plain := n * tc.t.MD
+	mdhat := n*tc.t.MDr + tc.pcb
+	if plain < mdhat {
+		mdhat = plain
+	}
+	aware := mdhat + a.rhoCurve(tc, n, t)
+	if aware < plain {
+		return aware
+	}
+	return plain
+}
+
+// rhoCurve mirrors rho from curve constants.
+func (a *Analyzer) rhoCurve(tc *termCurve, n int64, t taskmodel.Time) int64 {
+	if n <= 1 {
+		return 0
+	}
+	switch a.Cfg.CPRO {
+	case persistence.Union:
+		return (n - 1) * tc.p.unionOverlap
+	case persistence.MultisetUnion:
+		union := (n - 1) * tc.p.unionOverlap
+		var multi int64
+		for _, ev := range tc.p.evictors {
+			// Jobs of the evictor in the window, +1 for a carry-in job.
+			jobs := int64(t)/int64(ev.Period) + 2
+			if jobs > n-1 {
+				jobs = n - 1
+			}
+			multi += jobs * ev.Overlap
+		}
+		return min64(multi, union)
+	case persistence.FullReload:
+		return (n - 1) * tc.pcb
+	case persistence.None:
+		return 0
+	default:
+		panic(fmt.Sprintf("core: unknown CPRO approach %d", int(a.Cfg.CPRO)))
+	}
+}
+
+// evictorBreak returns the smallest evictor-release multiple above t,
+// the only t-dependence of the multiset CPRO bound. Other CPRO
+// approaches depend on t solely through the job count n, whose steps
+// the callers account for separately.
+func (a *Analyzer) evictorBreak(tc *termCurve, t, next taskmodel.Time) taskmodel.Time {
+	if !a.Cfg.Persistence || a.Cfg.CPRO != persistence.MultisetUnion {
+		return next
+	}
+	for _, ev := range tc.p.evictors {
+		if bp := (int64(t)/int64(ev.Period) + 1) * int64(ev.Period); bp < next {
+			next = bp
+		}
+	}
+	return next
+}
+
+// sameEval evaluates one same-core curve at t: the processor term, the
+// BAS term (matching bas() exactly) and the next breakpoint.
+func (a *Analyzer) sameEval(tc *termCurve, t taskmodel.Time) (procVal taskmodel.Time, basVal int64, next taskmodel.Time) {
+	e := ceilDiv(int64(t), int64(tc.t.Period))
+	procVal = taskmodel.Time(e) * tc.t.PD
+	if a.Cfg.Persistence {
+		basVal = a.persistentDemandCurve(tc, e, t) + e*tc.p.gamma
+	} else {
+		basVal = e*tc.t.MD + e*tc.p.gamma
+	}
+	// ⌈t/T⌉ holds its value up to and including e·T; it steps at
+	// e·T + 1 (times are integral).
+	next = e*int64(tc.t.Period) + 1
+	next = a.evictorBreak(tc, t, next)
+	if next <= t {
+		next = t + 1 // defensive: cursors must always move forward
+	}
+	return procVal, basVal, next
+}
+
+// remoteEval evaluates one remote curve at t, matching contribRef
+// exactly: the n(t) job count of Eq. (6), the W demand term and the
+// carry-out ramp W_cout of Eq. (5), plus the next breakpoint (job
+// release, d_mem ramp step, or evictor release).
+func (a *Analyzer) remoteEval(tc *termCurve, c int64, t taskmodel.Time) (val int64, next taskmodel.Time) {
+	dmem := int64(a.TS.Platform.DMem)
+	period := int64(tc.t.Period)
+	num := int64(t) + c
+	n := floorDiv(num, period)
+	if n < 0 {
+		n = 0
+	}
+	var w int64
+	if a.Cfg.Persistence {
+		w = a.persistentDemandCurve(tc, n, t) + n*tc.p.gamma
+	} else {
+		w = n * (tc.t.MD + tc.p.gamma)
+	}
+	wcCap := tc.t.MD + tc.p.gamma
+	rem := num - n*period
+	wcRaw := ceilDiv(rem, dmem)
+	wc := wcRaw
+	if wc < 0 {
+		wc = 0
+	} else if wc > wcCap {
+		wc = wcCap
+	}
+	val = w + wc
+
+	// Next job-release step of the (clamped) n.
+	next = taskmodel.Time((n+1)*period - c)
+	// Next carry-out ramp step, unless the ramp is saturated: the
+	// ceiling over rem advances at rem = wcRaw·d_mem + 1, or first
+	// turns positive at rem = 1.
+	if wcRaw < wcCap {
+		remNext := int64(1)
+		if wcRaw > 0 {
+			remNext = wcRaw*dmem + 1
+		}
+		if bp := t + taskmodel.Time(remNext-rem); bp < next {
+			next = bp
+		}
+	}
+	next = a.evictorBreak(tc, t, next)
+	if next <= t {
+		next = t + 1
+	}
+	return val, next
+}
+
+// fpRemote reads the current remote estimate feeding one remote
+// cursor: the dense mirror while Run is live, the public map otherwise.
+func (a *Analyzer) fpRemote(tc *termCurve) taskmodel.Time {
+	if a.rdLive {
+		return a.rd[tc.idx]
+	}
+	return a.R[tc.t.Priority]
+}
+
+// fpReset prepares the cursors for the priority-level row ii at the
+// starting iterate r, setting a.fp to the level's persistent state.
+// Remote curves are read at level ii for the FP bus and at the
+// lowest-priority level for RR (Eq. 8 charges remote demand at the
+// bottom level); TDMA and Perfect need none.
+//
+// When the level was analyzed before and the seed equals the iterate
+// its cursors stopped at — the steady state of the outer loop, whose
+// seeds resume from the task's own previous fixed point — the cursors
+// are reused: only remote terms whose R_l offset moved are
+// re-evaluated. Their values are pure functions of (c, t), so the
+// refreshed state is identical to a full rebuild.
+func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
+	if a.fps == nil {
+		a.fps = make([]fpState, len(a.tab.tasks))
+	}
+	s := &a.fps[ii]
+	a.fp = s
+	dmem := int64(a.TS.Platform.DMem)
+	if s.valid && s.at == r {
+		changed := false
+		for k := range s.remote {
+			cur := &s.remote[k]
+			tc := cur.tc
+			c := int64(a.fpRemote(tc)) - (tc.t.MD+tc.p.gamma)*dmem
+			if c == cur.c {
+				continue
+			}
+			val, next := a.remoteEval(tc, c, r)
+			if cur.low {
+				s.lowSum[cur.core] += val - cur.val
+			} else {
+				s.baoSum[cur.core] += val - cur.val
+			}
+			cur.c, cur.val, cur.next = c, val, next
+			changed = true
+		}
+		if changed {
+			minNext := maxTime
+			for k := range s.same {
+				if s.same[k].next < minNext {
+					minNext = s.same[k].next
+				}
+			}
+			for k := range s.remote {
+				if s.remote[k].next < minNext {
+					minNext = s.remote[k].next
+				}
+			}
+			s.minNext = minNext
+		}
+		return
+	}
+
+	persist := a.Cfg.Persistence
+	s.procSum, s.basSum = 0, 0
+	s.minNext = maxTime
+	s.at = r
+	s.valid = true
+
+	same := a.tab.curveSame(ii, persist)
+	if cap(s.same) < len(same) {
+		s.same = make([]sameCursor, 0, len(same))
+	}
+	s.same = s.same[:0]
+	for k := range same {
+		tc := &same[k]
+		procVal, basVal, next := a.sameEval(tc, r)
+		s.procSum += procVal
+		s.basSum += basVal
+		if next < s.minNext {
+			s.minNext = next
+		}
+		s.same = append(s.same, sameCursor{tc: tc, procVal: procVal, basVal: basVal, next: next})
+	}
+
+	m := a.TS.Platform.NumCores
+	if cap(s.baoSum) < m {
+		s.baoSum = make([]int64, m)
+		s.lowSum = make([]int64, m)
+	}
+	s.baoSum = s.baoSum[:m]
+	s.lowSum = s.lowSum[:m]
+	for y := 0; y < m; y++ {
+		s.baoSum[y], s.lowSum[y] = 0, 0
+	}
+	s.remote = s.remote[:0]
+	if a.Cfg.Arbiter != FP && a.Cfg.Arbiter != RR {
+		return
+	}
+	if cap(s.remote) < len(a.tab.tasks) {
+		s.remote = make([]remoteCursor, 0, len(a.tab.tasks))
+	}
+
+	addRemote := func(terms []termCurve, y int, low bool) {
+		for k := range terms {
+			tc := &terms[k]
+			c := int64(a.fpRemote(tc)) - (tc.t.MD+tc.p.gamma)*dmem
+			val, next := a.remoteEval(tc, c, r)
+			if low {
+				s.lowSum[y] += val
+			} else {
+				s.baoSum[y] += val
+			}
+			if next < s.minNext {
+				s.minNext = next
+			}
+			s.remote = append(s.remote, remoteCursor{tc: tc, c: c, val: val, next: next, core: int32(y), low: low})
+		}
+	}
+	level := ii
+	if a.Cfg.Arbiter == RR {
+		level = a.tab.prioIdx[a.TS.LowestPriority()]
+	}
+	for y := 0; y < m; y++ {
+		if y == core {
+			continue
+		}
+		remote, low := a.tab.curveRemote(level, y, persist)
+		addRemote(remote, y, false)
+		if a.Cfg.Arbiter == FP {
+			addRemote(low, y, true)
+		}
+	}
+}
+
+// fpAdvance moves every cursor whose breakpoint was crossed forward to
+// t, updating the running sums in place. Cursors not yet at their
+// breakpoint keep their value — that is the entire saving.
+func (a *Analyzer) fpAdvance(t taskmodel.Time) {
+	s := a.fp
+	s.at = t
+	if t < s.minNext {
+		return
+	}
+	minNext := maxTime
+	for k := range s.same {
+		cur := &s.same[k]
+		if cur.next <= t {
+			procVal, basVal, next := a.sameEval(cur.tc, t)
+			s.procSum += procVal - cur.procVal
+			s.basSum += basVal - cur.basVal
+			cur.procVal, cur.basVal, cur.next = procVal, basVal, next
+		}
+		if cur.next < minNext {
+			minNext = cur.next
+		}
+	}
+	for k := range s.remote {
+		cur := &s.remote[k]
+		if cur.next <= t {
+			val, next := a.remoteEval(cur.tc, cur.c, t)
+			if cur.low {
+				s.lowSum[cur.core] += val - cur.val
+			} else {
+				s.baoSum[cur.core] += val - cur.val
+			}
+			cur.val, cur.next = val, next
+		}
+		if cur.next < minNext {
+			minNext = cur.next
+		}
+	}
+	s.minNext = minNext
+}
+
+// fpBAT combines the cursor sums into BAT exactly as BAT() does from
+// its recomputed terms: Eq. (7) for FP, Eq. (8) for RR, Eq. (9) for
+// TDMA, own accesses only for Perfect.
+func (a *Analyzer) fpBAT(md int64, core int, hasLP bool) int64 {
+	s := a.fp
+	bas := md + s.basSum
+	var plus1 int64
+	if hasLP {
+		plus1 = 1
+	}
+	switch a.Cfg.Arbiter {
+	case Perfect:
+		return bas
+	case FP:
+		total := bas + plus1
+		var low int64
+		for y := range s.baoSum {
+			total += s.baoSum[y]
+			low += s.lowSum[y]
+		}
+		return total + min64(bas, low)
+	case RR:
+		slot := int64(a.TS.Platform.SlotSize)
+		total := bas + plus1
+		for y := 0; y < len(s.baoSum); y++ {
+			if y == core {
+				continue
+			}
+			total += min64(s.baoSum[y], slot*bas)
+		}
+		return total
+	case TDMA:
+		slot := int64(a.TS.Platform.SlotSize)
+		l := int64(a.TS.Platform.NumCores)
+		return bas + (l-1)*slot*bas + plus1
+	default:
+		panic(fmt.Sprintf("core: unknown arbiter %d", int(a.Cfg.Arbiter)))
+	}
+}

@@ -22,12 +22,20 @@ func differentialCorpus(t *testing.T, count int) []*taskmodel.TaskSet {
 	utils := []float64{0.2, 0.4, 0.6, 0.8, 0.95}
 	coreCounts := []int{2, 4}
 	tasksPerCore := []int{3, 6}
+	// The event-driven engine snaps iterates between breakpoints whose
+	// spacing depends on d_mem (carry-out ramp steps) and whose BAT
+	// combination depends on the slot size (RR/TDMA), so both are fuzz
+	// dimensions.
+	dmems := []taskmodel.Time{2, 5, 9}
+	slots := []int{1, 2, 4}
 	seed := int64(0)
 	for len(out) < count {
 		cfg := taskgen.DefaultConfig()
 		cfg.Platform.NumCores = coreCounts[seed%int64(len(coreCounts))]
 		cfg.TasksPerCore = tasksPerCore[(seed/2)%int64(len(tasksPerCore))]
 		cfg.CoreUtilization = utils[(seed/4)%int64(len(utils))]
+		cfg.Platform.DMem = dmems[(seed/3)%int64(len(dmems))]
+		cfg.Platform.SlotSize = slots[(seed/7)%int64(len(slots))]
 		pool, err := taskgen.PoolFromSuite(cfg.Platform.Cache)
 		if err != nil {
 			t.Fatal(err)
@@ -159,6 +167,96 @@ func TestTablesReuseAcrossDMem(t *testing.T) {
 			}
 			if got := a.Run(); !reflect.DeepEqual(got, want) {
 				t.Fatalf("d_mem %d: reused-tables result diverges", d)
+			}
+		}
+	}
+}
+
+// TestDifferentialAbortVerdicts pins the abort path specifically: when
+// the fixed point aborts on a provable deadline miss, the accelerated
+// analyzer must report the same per-task verdicts as the naive one —
+// the same task flagged as the miss (Verified, not Schedulable), the
+// same tasks left unverified, and identical mid-iteration WCRT
+// estimates. Breakpoint jumps may only land on iterates the naive
+// chain also visits, so the r > D_i detection must trip at the same
+// value; this test fails loudly if a jump ever overshoots a deadline
+// boundary the naive analyzer would have caught at a smaller iterate.
+func TestDifferentialAbortVerdicts(t *testing.T) {
+	cfgs := differentialConfigs()
+	missVerdicts := 0
+	unverified := 0
+	for si, ts := range differentialCorpus(t, 60) {
+		for _, cfg := range cfgs {
+			got, err := Analyze(ts, cfg)
+			if err != nil {
+				t.Fatalf("set %d %+v: Analyze: %v", si, cfg, err)
+			}
+			if got.Complete {
+				continue
+			}
+			want, err := AnalyzeReference(ts, cfg)
+			if err != nil {
+				t.Fatalf("set %d %+v: AnalyzeReference: %v", si, cfg, err)
+			}
+			if want.Complete {
+				t.Fatalf("set %d %+v: accelerated path aborted, reference converged", si, cfg)
+			}
+			if len(got.Tasks) != len(want.Tasks) {
+				t.Fatalf("set %d %+v: abort reported %d task verdicts, reference %d",
+					si, cfg, len(got.Tasks), len(want.Tasks))
+			}
+			for k := range got.Tasks {
+				g, w := got.Tasks[k], want.Tasks[k]
+				if g.Name != w.Name || g.Verified != w.Verified ||
+					g.Schedulable != w.Schedulable || g.WCRT != w.WCRT {
+					t.Fatalf("set %d %+v task %q: abort verdict diverges\n table: %+v\n naive: %+v",
+						si, cfg, w.Name, g, w)
+				}
+				if g.Verified && !g.Schedulable {
+					missVerdicts++
+				}
+				if !g.Verified {
+					unverified++
+				}
+			}
+		}
+	}
+	if missVerdicts == 0 {
+		t.Error("no proven deadline-miss verdicts exercised; tighten the corpus")
+	}
+	if unverified == 0 {
+		t.Error("no unverified (mid-iteration) tasks exercised; tighten the corpus")
+	}
+}
+
+// TestResponseTimeZeroAlloc pins the allocation-free inner loop: once
+// an analyzer has run to a fixed point, re-evaluating any level's
+// response time — cursor reset, breakpoint advances, BAT combination
+// and all — must not allocate. The warm-up Run matters: the per-level
+// cursor state and the lazy table rows/curves allocate on first touch
+// of each level, never after.
+func TestResponseTimeZeroAlloc(t *testing.T) {
+	for _, cfg := range []Config{
+		{Arbiter: FP, Persistence: true, CPRO: persistence.MultisetUnion},
+		{Arbiter: RR, Persistence: true, CPRO: persistence.Union},
+		{Arbiter: TDMA, Persistence: false},
+	} {
+		ts := differentialCorpus(t, 1)[0]
+		a, err := NewAnalyzer(ts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := a.Run(); !res.Complete {
+			t.Fatalf("%+v: warm-up run aborted; pick a schedulable corpus entry", cfg)
+		}
+		for _, task := range ts.Tasks {
+			prio := task.Priority
+			if avg := testing.AllocsPerRun(50, func() {
+				if _, ok := a.ResponseTime(prio); !ok {
+					t.Fatal("warm ResponseTime diverged")
+				}
+			}); avg != 0 {
+				t.Errorf("%+v prio %d: ResponseTime allocates %v times per call, want 0", cfg, prio, avg)
 			}
 		}
 	}

@@ -88,7 +88,21 @@ type Tables struct {
 	// Γ_x iteration sets of the γ fast path.
 	byCore [][]taskRef
 
-	rows []*row
+	// rows is indexed by level; a level is built when its pair slice is
+	// non-nil. Value slices (one allocation for all levels) keep the
+	// table build off the allocator's hot path.
+	rows []row
+	// pairBlock is the n×n backing of the rows' pair slices, allocated
+	// once on first row build.
+	pairBlock []pairTab
+	// coreOff are the prefix sums of the byCore sizes: core y's tasks
+	// occupy [coreOff[y], coreOff[y+1]) slots of any per-task flat
+	// backing laid out core-by-core.
+	coreOff []int
+	// curves holds the per-level breakpoint-curve materializations of
+	// the event-driven fixed point (curves.go), filled lazily like the
+	// rows and shared across configurations.
+	curves []levelCurves
 	// hepECB[j] is ∪_{h ∈ Γcore(j) ∩ hep(j)} ECB_h, the evicting union
 	// of Eq. (2); hepECBDone flags cores whose column is built. The
 	// per-core build is a single running union over byCore, so the whole
@@ -111,7 +125,7 @@ func PrecomputeTables(ts *taskmodel.TaskSet, ap crpd.Approach) *Tables {
 		prioIdx:    make(map[int]int, len(ts.Tasks)),
 		pcb:        make([]int64, len(ts.Tasks)),
 		byCore:     make([][]taskRef, ts.Platform.NumCores),
-		rows:       make([]*row, len(ts.Tasks)),
+		rows:       make([]row, len(ts.Tasks)),
 		hepECB:     make([]cacheset.Set, len(ts.Tasks)),
 		hepECBDone: make([]bool, ts.Platform.NumCores),
 	}
@@ -119,6 +133,10 @@ func PrecomputeTables(ts *taskmodel.TaskSet, ap crpd.Approach) *Tables {
 		tb.prioIdx[t.Priority] = i
 		tb.pcb[i] = int64(t.PCB.Count())
 		tb.byCore[t.Core] = append(tb.byCore[t.Core], taskRef{t: t, idx: i})
+	}
+	tb.coreOff = make([]int, ts.Platform.NumCores+1)
+	for y, refs := range tb.byCore {
+		tb.coreOff[y+1] = tb.coreOff[y] + len(refs)
 	}
 	return tb
 }
@@ -141,15 +159,36 @@ func (tb *Tables) hepEcb(jj int) cacheset.Set {
 // row returns level ii's task slices, built on first access. The build
 // involves no cache-set work.
 func (tb *Tables) row(ii int) *row {
-	if r := tb.rows[ii]; r != nil {
+	r := &tb.rows[ii]
+	if r.pair != nil {
 		return r
 	}
 	ti := tb.tasks[ii]
 	m := tb.ts.Platform.NumCores
-	r := &row{
-		hep:  make([][]taskRef, m),
-		lp:   make([][]taskRef, m),
-		pair: make([]pairTab, len(tb.tasks)),
+	n := len(tb.tasks)
+	if tb.pairBlock == nil {
+		tb.pairBlock = make([]pairTab, n*n)
+	}
+	r.pair = tb.pairBlock[ii*n : (ii+1)*n : (ii+1)*n]
+	r.hp = make([]taskRef, 0, len(tb.byCore[ti.Core]))
+	// hep[y] ∪ lp[y] partition Γ_y; byCore is priority-ascending, so
+	// the boundary index gives both slices exact, growth-free capacity
+	// out of a single backing array shared by all cores (laid out at
+	// the coreOff offsets).
+	hdr := make([][]taskRef, 2*m)
+	r.hep, r.lp = hdr[:m:m], hdr[m:]
+	backing := make([]taskRef, n)
+	for y := 0; y < m; y++ {
+		split := 0
+		for _, ref := range tb.byCore[y] {
+			if ref.t.Priority > ti.Priority {
+				break
+			}
+			split++
+		}
+		part := backing[tb.coreOff[y]:tb.coreOff[y+1]]
+		r.hep[y] = part[:0:split]
+		r.lp[y] = part[split:split]
 	}
 	for jj, tj := range tb.tasks {
 		ref := taskRef{t: tj, idx: jj}
@@ -168,7 +207,6 @@ func (tb *Tables) row(ii int) *row {
 			}
 		}
 	}
-	tb.rows[ii] = r
 	return r
 }
 

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/benchsuite"
 	"repro/internal/cacheset"
@@ -24,20 +25,48 @@ type TaskParams struct {
 	UCB, ECB, PCB cacheset.Set
 }
 
+// poolCache memoizes suite extraction per cache geometry. Extraction
+// is deterministic and dominated by the static WCET walk over every
+// benchmark CFG, so the sweep drivers — which call PoolFromSuite once
+// per figure (or, for the cache-size sweep, once per point) — would
+// otherwise redo identical work.
+var poolCache struct {
+	sync.Mutex
+	pools map[taskmodel.CacheConfig][]TaskParams
+}
+
 // PoolFromSuite extracts the whole benchmark suite at the given cache
-// geometry and packages it as a generation pool.
+// geometry and packages it as a generation pool. Results are memoized
+// per geometry; each call returns a fresh copy with cloned cache sets,
+// so callers may mutate their pool freely.
 func PoolFromSuite(cache taskmodel.CacheConfig) ([]TaskParams, error) {
-	ps, err := benchsuite.ExtractAll(cache)
-	if err != nil {
-		return nil, err
+	poolCache.Lock()
+	defer poolCache.Unlock()
+	cached, ok := poolCache.pools[cache]
+	if !ok {
+		ps, err := benchsuite.ExtractAll(cache)
+		if err != nil {
+			return nil, err
+		}
+		cached = make([]TaskParams, 0, len(ps))
+		for _, p := range ps {
+			r := p.Result
+			cached = append(cached, TaskParams{
+				Name: p.Name, PD: r.PD, MD: r.MD, MDr: r.MDr,
+				UCB: r.UCB, ECB: r.ECB, PCB: r.PCB,
+			})
+		}
+		if poolCache.pools == nil {
+			poolCache.pools = make(map[taskmodel.CacheConfig][]TaskParams)
+		}
+		poolCache.pools[cache] = cached
 	}
-	pool := make([]TaskParams, 0, len(ps))
-	for _, p := range ps {
-		r := p.Result
-		pool = append(pool, TaskParams{
-			Name: p.Name, PD: r.PD, MD: r.MD, MDr: r.MDr,
-			UCB: r.UCB, ECB: r.ECB, PCB: r.PCB,
-		})
+	pool := make([]TaskParams, len(cached))
+	copy(pool, cached)
+	for i := range pool {
+		pool[i].UCB = cached[i].UCB.Clone()
+		pool[i].ECB = cached[i].ECB.Clone()
+		pool[i].PCB = cached[i].PCB.Clone()
 	}
 	return pool, nil
 }

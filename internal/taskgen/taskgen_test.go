@@ -5,6 +5,9 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/benchsuite"
+	"repro/internal/taskmodel"
 )
 
 func TestUUnifastSumAndRange(t *testing.T) {
@@ -228,5 +231,45 @@ func TestGenerateLogUniformPeriods(t *testing.T) {
 	}
 	if low == 0 || high == 0 {
 		t.Errorf("periods not spread across the log range: %d low, %d high", low, high)
+	}
+}
+
+func TestPoolFromSuiteMemoizedAndIsolated(t *testing.T) {
+	cache := taskmodel.CacheConfig{NumSets: 128, BlockSizeBytes: 32}
+	a, err := PoolFromSuite(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating a returned pool's sets must not leak into later calls.
+	for i := 0; i < cache.NumSets; i++ {
+		a[0].UCB.Remove(i)
+		a[0].ECB.Remove(i)
+		a[0].PCB.Remove(i)
+	}
+	b, err := PoolFromSuite(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("pool sizes differ: %d vs %d", len(a), len(b))
+	}
+	if b[0].ECB.Count() == 0 {
+		t.Fatal("memoized pool was corrupted by caller mutation")
+	}
+	for i := range b {
+		if a[i].Name != b[i].Name || a[i].PD != b[i].PD || a[i].MD != b[i].MD || a[i].MDr != b[i].MDr {
+			t.Fatalf("pool entry %d differs between calls: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A fresh extraction at the same geometry matches the memoized copy.
+	ps, err := benchsuite.ExtractAll(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		if b[i].Name != p.Name || !b[i].ECB.Equal(p.Result.ECB) ||
+			!b[i].UCB.Equal(p.Result.UCB) || !b[i].PCB.Equal(p.Result.PCB) {
+			t.Fatalf("memoized entry %d diverges from fresh extraction for %q", i, p.Name)
+		}
 	}
 }
