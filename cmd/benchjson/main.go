@@ -11,6 +11,13 @@
 //
 // With -in, no benchmarks are run: existing `go test -bench -benchmem`
 // output is parsed instead (use - for stdin).
+//
+// The compare subcommand diffs two recorded reports and fails (exit 2)
+// when any benchmark regressed by more than the threshold, so CI can
+// gate on it:
+//
+//	benchjson compare old.json new.json            # fail on >10% ns/op
+//	benchjson compare -threshold 5 old.json new.json
 package main
 
 import (
@@ -22,8 +29,10 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -85,6 +94,129 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 		}
 	}
 	return out, sc.Err()
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// bestOf folds repeated runs of the same benchmark (go test -count N)
+// into one entry, keeping the fastest time — the standard best-of-N
+// noise reduction — and the worst allocation count, so an allocation
+// that shows up in any run still fails the gate.
+func bestOf(benches []Benchmark) map[string]Benchmark {
+	out := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		prev, seen := out[b.Name]
+		if !seen {
+			out[b.Name] = b
+			continue
+		}
+		if b.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = b.NsPerOp
+		}
+		if b.BytesPerOp > prev.BytesPerOp {
+			prev.BytesPerOp = b.BytesPerOp
+		}
+		if b.AllocsPerOp > prev.AllocsPerOp {
+			prev.AllocsPerOp = b.AllocsPerOp
+		}
+		out[b.Name] = prev
+	}
+	return out
+}
+
+// compare diffs two reports benchmark by benchmark and writes a delta
+// table. It returns the number of benchmarks whose ns/op regressed by
+// more than thresholdPct, counting any allocs/op increase as a
+// regression too (the zero-alloc hot path must stay zero-alloc).
+func compare(old, new *Report, thresholdPct float64, w io.Writer) (regressions int, err error) {
+	oldBy := bestOf(old.Benchmarks)
+	newBy := bestOf(new.Benchmarks)
+	names := make([]string, 0, len(newBy))
+	for name := range newBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs\tverdict")
+	matched := 0
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.1f\t-\t%d\tnew\n", name, nb.NsPerOp, nb.AllocsPerOp)
+			continue
+		}
+		matched++
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		verdict := "ok"
+		if delta > thresholdPct {
+			verdict = "REGRESSION"
+			regressions++
+		} else if nb.AllocsPerOp > ob.AllocsPerOp {
+			verdict = "ALLOC REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%+.1f%%\t%d -> %d\t%s\n",
+			name, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsPerOp, nb.AllocsPerOp, verdict)
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			fmt.Fprintf(tw, "%s\t%.1f\t-\t-\t-\tremoved\n", name, oldBy[name].NsPerOp)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return regressions, err
+	}
+	if matched == 0 {
+		return regressions, fmt.Errorf("no common benchmarks between the two reports")
+	}
+	fmt.Fprintf(w, "\n%d/%d benchmarks compared, %d regression(s) beyond %.0f%%\n",
+		matched, len(names), regressions, thresholdPct)
+	return regressions, nil
+}
+
+// runCompare handles `benchjson compare [-threshold N] old.json new.json`.
+// Exit codes: 0 no regression, 1 usage/IO error, 2 regression found.
+func runCompare(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 10, "ns/op regression threshold in percent")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if fs.NArg() != 2 {
+		return 1, fmt.Errorf("usage: benchjson compare [-threshold N] old.json new.json")
+	}
+	old, err := readReport(fs.Arg(0))
+	if err != nil {
+		return 1, err
+	}
+	new, err := readReport(fs.Arg(1))
+	if err != nil {
+		return 1, err
+	}
+	regressions, err := compare(old, new, *threshold, stdout)
+	if err != nil {
+		return 1, err
+	}
+	if regressions > 0 {
+		return 2, fmt.Errorf("%d benchmark(s) regressed", regressions)
+	}
+	return 0, nil
 }
 
 func run() error {
@@ -164,6 +296,13 @@ func run() error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		code, err := runCompare(os.Args[2:], os.Stdout, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+		}
+		os.Exit(code)
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,6 +47,123 @@ func TestParseBenchEmpty(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("parsed %d benchmarks from non-bench output, want 0", len(got))
+	}
+}
+
+func report(benches ...Benchmark) *Report {
+	return &Report{Benchmarks: benches}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := report(
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: 3},
+		Benchmark{Name: "BenchmarkB-8", NsPerOp: 200},
+	)
+	cur := report(
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 105, AllocsPerOp: 3}, // +5%, under threshold
+		Benchmark{Name: "BenchmarkB-8", NsPerOp: 150},                 // faster
+	)
+	var buf bytes.Buffer
+	n, err := compare(old, cur, 10, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("regressions = %d, want 0:\n%s", n, buf.String())
+	}
+}
+
+func TestCompareFlagsSlowdownAndAllocs(t *testing.T) {
+	old := report(
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkZeroAlloc-8", NsPerOp: 50, AllocsPerOp: 0},
+	)
+	cur := report(
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 120},                          // +20% > 10%
+		Benchmark{Name: "BenchmarkZeroAlloc-8", NsPerOp: 50, AllocsPerOp: 2},   // allocs appeared
+		Benchmark{Name: "BenchmarkNew-8", NsPerOp: 999},                        // no baseline: informational
+	)
+	var buf bytes.Buffer
+	n, err := compare(old, cur, 10, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("regressions = %d, want 2:\n%s", n, buf.String())
+	}
+	for _, want := range []string{"REGRESSION", "ALLOC REGRESSION", "new"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestCompareBestOfN(t *testing.T) {
+	// -count runs repeat each name; the fastest time wins, but an
+	// allocation appearing in any run still counts.
+	old := report(
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 90},
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 110},
+	)
+	cur := report(
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 95, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkA-8", NsPerOp: 91, AllocsPerOp: 1},
+	)
+	var buf bytes.Buffer
+	n, err := compare(old, cur, 10, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90 -> 91 is ~1%, fine; the stray alloc is the one regression.
+	if n != 1 {
+		t.Errorf("regressions = %d, want 1 (alloc):\n%s", n, buf.String())
+	}
+	if strings.Count(buf.String(), "BenchmarkA-8") != 1 {
+		t.Errorf("repeated runs not folded:\n%s", buf.String())
+	}
+}
+
+func TestCompareDisjointReports(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := compare(report(Benchmark{Name: "A"}), report(Benchmark{Name: "B"}), 10, &buf); err == nil {
+		t.Error("disjoint reports accepted")
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", report(Benchmark{Name: "BenchmarkA-8", NsPerOp: 100}))
+	same := write("same.json", report(Benchmark{Name: "BenchmarkA-8", NsPerOp: 101}))
+	slow := write("slow.json", report(Benchmark{Name: "BenchmarkA-8", NsPerOp: 200}))
+
+	var out, errOut bytes.Buffer
+	if code, err := runCompare([]string{old, same}, &out, &errOut); code != 0 || err != nil {
+		t.Errorf("identical-ish reports: code=%d err=%v", code, err)
+	}
+	if code, err := runCompare([]string{old, slow}, &out, &errOut); code != 2 || err == nil {
+		t.Errorf("2x slowdown: code=%d err=%v, want 2 with error", code, err)
+	}
+	// Tightened threshold turns the 1% drift into a failure.
+	if code, _ := runCompare([]string{"-threshold", "0.5", old, same}, &out, &errOut); code != 2 {
+		t.Errorf("threshold 0.5%%: code=%d, want 2", code)
+	}
+	if code, _ := runCompare([]string{old}, &out, &errOut); code != 1 {
+		t.Errorf("missing arg: code=%d, want 1", code)
+	}
+	if code, _ := runCompare([]string{old, filepath.Join(dir, "absent.json")}, &out, &errOut); code != 1 {
+		t.Errorf("absent file: code=%d, want 1", code)
 	}
 }
 

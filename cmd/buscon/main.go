@@ -7,12 +7,16 @@
 //	buscon -in taskset.json -arbiter rr -persistence
 //
 // Task set files are produced by cmd/gentaskset or by hand (see
-// internal/taskmodel's JSON format).
+// internal/taskmodel's JSON format). Telemetry flags: -metrics prints
+// analyzer counters, -trace FILE writes a Chrome trace-event JSON
+// viewable at ui.perfetto.dev, -convergence prints per-task iterate
+// chains, -v enables debug logging.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -20,8 +24,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/crpd"
 	"repro/internal/persistence"
-	"repro/internal/profiling"
 	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
 )
 
 func parseArbiter(s string) (core.Arbiter, error) {
@@ -71,35 +75,50 @@ func parseCPRO(s string) (persistence.CPROApproach, error) {
 	}
 }
 
-// run returns the process exit code (0 ok, 2 not schedulable) so that
-// deferred cleanup — profile flushing in particular — runs before exit.
-func run() (int, error) {
-	in := flag.String("in", "", "task set JSON file (required; - for stdin)")
-	arbS := flag.String("arbiter", "rr", "bus arbiter: fp, rr, tdma or perfect")
-	persist := flag.Bool("persistence", false, "enable the cache persistence-aware analysis (Lemmas 1-2)")
-	crpdS := flag.String("crpd", "ecb-union", "CRPD approach: ecb-union, ucb-only, ecb-only, ucb-union, combined")
-	cproS := flag.String("cpro", "union", "CPRO approach: union, multiset, full, none")
-	compare := flag.Bool("compare", false, "also run the opposite persistence setting and print both")
-	explain := flag.Int("explain", -1, "decompose the WCRT bound of the task with this priority")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+// run executes the whole command against explicit streams and returns
+// the process exit code (0 ok, 2 not schedulable), so tests can drive
+// it end to end. Deferred cleanup — the telemetry session flush in
+// particular — runs before the caller exits.
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("buscon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "task set JSON file (required; - for stdin)")
+	arbS := fs.String("arbiter", "rr", "bus arbiter: fp, rr, tdma or perfect")
+	persist := fs.Bool("persistence", false, "enable the cache persistence-aware analysis (Lemmas 1-2)")
+	crpdS := fs.String("crpd", "ecb-union", "CRPD approach: ecb-union, ucb-only, ecb-only, ucb-union, combined")
+	cproS := fs.String("cpro", "union", "CPRO approach: union, multiset, full, none")
+	compare := fs.Bool("compare", false, "also run the opposite persistence setting and print both")
+	explain := fs.Int("explain", -1, "decompose the WCRT bound of the task with this priority")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
+	metrics := fs.Bool("metrics", false, "print analyzer counters and histograms on exit")
+	convergence := fs.Bool("convergence", false, "print per-task convergence traces on exit")
+	verbose := fs.Bool("v", false, "enable debug logging")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	sess, err := telemetry.StartSession(telemetry.SessionOptions{
+		Tool:       "buscon",
+		CPUProfile: *cpuprofile, MemProfile: *memprofile,
+		TracePath: *tracePath, Metrics: *metrics, Convergence: *convergence,
+		Verbose: *verbose, Out: stderr,
+	})
 	if err != nil {
 		return 1, err
 	}
 	defer func() {
-		if perr := stopProf(); perr != nil {
-			fmt.Fprintln(os.Stderr, "buscon:", perr)
+		if cerr := sess.Close(); cerr != nil {
+			fmt.Fprintln(stderr, "buscon:", cerr)
 		}
 	}()
 
 	if *in == "" {
-		flag.Usage()
+		fs.Usage()
 		return 1, fmt.Errorf("missing -in")
 	}
-	var f *os.File
+	var f io.ReadCloser
 	if *in == "-" {
 		f = os.Stdin
 	} else {
@@ -128,8 +147,9 @@ func run() (int, error) {
 		return 1, err
 	}
 
+	obs := sess.Observer()
 	cfg := core.Config{Arbiter: arb, Persistence: *persist, CRPD: crpdAp, CPRO: cproAp}
-	res, err := core.Analyze(ts, cfg)
+	res, err := core.AnalyzeOpts(ts, cfg, core.Options{Observer: obs})
 	if err != nil {
 		return 1, err
 	}
@@ -138,21 +158,21 @@ func run() (int, error) {
 	if *compare {
 		otherCfg := cfg
 		otherCfg.Persistence = !cfg.Persistence
-		if other, err = core.Analyze(ts, otherCfg); err != nil {
+		if other, err = core.AnalyzeOpts(ts, otherCfg, core.Options{Observer: obs}); err != nil {
 			return 1, err
 		}
 	}
 
-	fmt.Printf("platform: %d cores, %d cache sets x %d B, d_mem=%d, slot=%d\n",
+	fmt.Fprintf(stdout, "platform: %d cores, %d cache sets x %d B, d_mem=%d, slot=%d\n",
 		ts.Platform.NumCores, ts.Platform.Cache.NumSets, ts.Platform.Cache.BlockSizeBytes,
 		ts.Platform.DMem, ts.Platform.SlotSize)
-	fmt.Printf("analysis: %s bus, persistence=%v, crpd=%s, cpro=%s\n\n", arb, *persist, crpdAp, cproAp)
+	fmt.Fprintf(stdout, "analysis: %s bus, persistence=%v, crpd=%s, cpro=%s\n\n", arb, *persist, crpdAp, cproAp)
 
 	if !res.Schedulable {
-		fmt.Println("note: analysis aborted at the first deadline miss; WCRTs of other tasks are mid-iteration estimates")
-		fmt.Println()
+		fmt.Fprintln(stdout, "note: analysis aborted at the first deadline miss; WCRTs of other tasks are mid-iteration estimates")
+		fmt.Fprintln(stdout)
 	}
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	if other != nil {
 		fmt.Fprintln(tw, "task\tcore\tprio\tT=D\tWCRT\tWCRT(other)\tverdict")
 	} else {
@@ -182,22 +202,22 @@ func run() (int, error) {
 		return 1, err
 	}
 
-	fmt.Printf("\nbus utilization: %.3f\n", ts.BusUtilization())
+	fmt.Fprintf(stdout, "\nbus utilization: %.3f\n", ts.BusUtilization())
 	if res.Schedulable {
-		fmt.Println("task set: SCHEDULABLE")
+		fmt.Fprintln(stdout, "task set: SCHEDULABLE")
 	} else {
-		fmt.Println("task set: NOT SCHEDULABLE")
+		fmt.Fprintln(stdout, "task set: NOT SCHEDULABLE")
 	}
 	if other != nil {
-		fmt.Printf("with persistence=%v: schedulable=%v\n", !cfg.Persistence, other.Schedulable)
+		fmt.Fprintf(stdout, "with persistence=%v: schedulable=%v\n", !cfg.Persistence, other.Schedulable)
 	}
 	if *explain >= 0 {
 		ex, err := core.Explain(ts, cfg, *explain)
 		if err != nil {
 			return 1, err
 		}
-		fmt.Println()
-		if err := ex.Render(os.Stdout); err != nil {
+		fmt.Fprintln(stdout)
+		if err := ex.Render(stdout); err != nil {
 			return 1, err
 		}
 	}
@@ -208,7 +228,7 @@ func run() (int, error) {
 }
 
 func main() {
-	code, err := run()
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "buscon:", err)
 		if code == 0 {

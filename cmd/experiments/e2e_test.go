@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig2aWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-tasksets", "2", "-outdir", dir, "-progress=false", "-metrics"},
+		&out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig2a.csv")); err != nil {
+		t.Errorf("fig2a.csv not written: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "analyzer.runs") {
+		t.Errorf("-metrics summary missing from stderr:\n%s", errOut.String())
+	}
+}
+
+// TestRunInterruptedFlushesPartialCSV checks the SIGINT path: a
+// canceled context must still chart the partial study, flush it as
+// *.partial.csv, and exit 130.
+func TestRunInterruptedFlushesPartialCSV(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code, err := run(ctx,
+		[]string{"-exp", "fig2a", "-tasksets", "2", "-outdir", dir, "-progress=false"},
+		&out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 130 {
+		t.Fatalf("exit code = %d, want 130", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig2a.partial.csv")); err != nil {
+		t.Errorf("partial CSV not written: %v", err)
+	}
+	if !strings.Contains(out.String(), "INTERRUPTED") {
+		t.Errorf("output does not flag the interruption:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code, err := run(context.Background(), []string{"-exp", "nope"}, &out, &errOut)
+	if err == nil || code != 1 {
+		t.Fatalf("code=%d err=%v, want an error with code 1", code, err)
+	}
+}

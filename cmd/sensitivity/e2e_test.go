@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+func TestRunSensitivityWithTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtures.Fig1TaskSet().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-in", path, "-trace", trace, "-metrics"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"FP-CP", "RR-CP", "critical scaling"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "analyzer.runs") {
+		t.Errorf("-metrics summary missing from stderr:\n%s", errOut.String())
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Error("trace is not valid JSON")
+	}
+}

@@ -9,29 +9,60 @@
 //
 //	sensitivity -in taskset.json
 //	gentaskset -util 0.3 | sensitivity -in -
+//
+// Telemetry flags: -metrics prints analyzer counters over the whole
+// search (the binary searches run many analyses), -trace FILE writes
+// a Chrome trace-event JSON viewable at ui.perfetto.dev, -v enables
+// debug logging.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
 	"repro/internal/core"
 	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
 )
 
-func run() error {
-	in := flag.String("in", "", "task set JSON file (required; - for stdin)")
-	limit := flag.Int64("dmem-limit", 1<<16, "upper bound for the d_mem search")
-	tol := flag.Float64("tol", 1e-3, "relative tolerance of the scaling search")
-	flag.Parse()
+// run executes the command against explicit streams so tests can
+// drive it end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "task set JSON file (required; - for stdin)")
+	limit := fs.Int64("dmem-limit", 1<<16, "upper bound for the d_mem search")
+	tol := fs.Float64("tol", 1e-3, "relative tolerance of the scaling search")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
+	metrics := fs.Bool("metrics", false, "print analyzer counters and histograms on exit")
+	verbose := fs.Bool("v", false, "enable debug logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("missing -in")
 	}
 
-	f := os.Stdin
+	sess, err := telemetry.StartSession(telemetry.SessionOptions{
+		Tool:      "sensitivity",
+		TracePath: *tracePath, Metrics: *metrics,
+		Verbose: *verbose, Out: stderr,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil {
+			fmt.Fprintln(stderr, "sensitivity:", cerr)
+		}
+	}()
+	copts := core.Options{Observer: sess.Observer()}
+
+	var f io.ReadCloser = os.Stdin
 	if *in != "-" {
 		var err error
 		f, err = os.Open(*in)
@@ -45,11 +76,11 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("platform: %d cores, %d sets, d_mem=%d; %d tasks, bus utilization %.3f\n\n",
+	fmt.Fprintf(stdout, "platform: %d cores, %d sets, d_mem=%d; %d tasks, bus utilization %.3f\n\n",
 		ts.Platform.NumCores, ts.Platform.Cache.NumSets, ts.Platform.DMem,
 		len(ts.Tasks), ts.BusUtilization())
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "analysis\tschedulable\tmax d_mem\tcritical scaling")
 	for _, arb := range []core.Arbiter{core.FP, core.RR, core.TDMA} {
 		for _, persistence := range []bool{false, true} {
@@ -58,16 +89,16 @@ func run() error {
 			if persistence {
 				name += "-CP"
 			}
-			res, err := core.Analyze(ts, cfg)
+			res, err := core.AnalyzeOpts(ts, cfg, copts)
 			if err != nil {
 				return err
 			}
-			maxD, err := core.MaxDMem(ts, cfg, taskmodel.Time(*limit))
+			maxD, err := core.MaxDMemOpts(ts, cfg, taskmodel.Time(*limit), copts)
 			if err != nil {
 				return err
 			}
 			scaling := "-"
-			if k, err := core.CriticalScaling(ts, cfg, *tol); err == nil {
+			if k, err := core.CriticalScalingOpts(ts, cfg, *tol, copts); err == nil {
 				scaling = fmt.Sprintf("%.3f", k)
 			}
 			fmt.Fprintf(tw, "%s\t%v\t%d\t%s\n", name, res.Schedulable, maxD, scaling)
@@ -76,14 +107,14 @@ func run() error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	fmt.Println("\nmax d_mem: largest memory latency the analysis still proves schedulable")
-	fmt.Println("critical scaling: smallest factor on all periods/deadlines that is schedulable")
-	fmt.Println("(< 1 means headroom; persistence-aware rows should never show less margin)")
+	fmt.Fprintln(stdout, "\nmax d_mem: largest memory latency the analysis still proves schedulable")
+	fmt.Fprintln(stdout, "critical scaling: smallest factor on all periods/deadlines that is schedulable")
+	fmt.Fprintln(stdout, "(< 1 means headroom; persistence-aware rows should never show less margin)")
 	return nil
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sensitivity:", err)
 		os.Exit(1)
 	}

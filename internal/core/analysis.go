@@ -27,10 +27,12 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/crpd"
 	"repro/internal/persistence"
 	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
 )
 
 // Arbiter selects the memory bus arbitration policy under analysis.
@@ -151,6 +153,9 @@ type Analyzer struct {
 	// probe, tests) bypass the mirror and read the map.
 	rd     []taskmodel.Time
 	rdLive bool
+	// obs receives telemetry; nil (the default) disables every hook —
+	// all hot-path instrumentation sits behind a single nil check.
+	obs *telemetry.Observer
 }
 
 // NewAnalyzer validates the task set and prepares an analyzer with
@@ -516,12 +521,37 @@ func (a *Analyzer) BAT(i int, t taskmodel.Time) int64 {
 // every returned value, including the deadline-exceeding abort
 // estimate — is exactly the naive chain of AnalyzeReference.
 func (a *Analyzer) ResponseTime(i int) (taskmodel.Time, bool) {
+	obs := a.obs
+	if obs == nil {
+		r, ok, _, _ := a.responseTime(i)
+		return r, ok
+	}
+	obs.Add(telemetry.CtrTaskAnalyses, 1)
+	var sp telemetry.Span
+	if obs.Tracing() {
+		sp = obs.Span("task "+a.TS.ByPriority(i).Name, "task")
+	}
+	r, ok, iters, jumps := a.responseTime(i)
+	obs.Add(telemetry.CtrInnerIterations, iters)
+	obs.Add(telemetry.CtrBreakpointJumps, jumps)
+	obs.Observe(telemetry.HistInnerIters, iters)
+	if obs.Tracing() {
+		sp.EndArgs(map[string]any{"prio": i, "wcrt": int64(r), "converged": ok, "iterations": iters})
+	}
+	return r, ok
+}
+
+// responseTime is the ResponseTime body, additionally reporting the
+// number of inner iterates and whether the loop terminated via the
+// breakpoint jump — the telemetry wrapper's raw material.
+func (a *Analyzer) responseTime(i int) (taskmodel.Time, bool, int64, int64) {
 	ti := a.TS.ByPriority(i)
 	ii, ok := a.tab.prioIdx[i]
 	if !ok {
 		// Off-table priority (not produced by the analysis itself):
 		// fall back to direct re-evaluation.
-		return a.responseTimeDirect(i, ti)
+		r, okd := a.responseTimeDirect(i, ti)
+		return r, okd, 0, 0
 	}
 	dmem := a.TS.Platform.DMem
 	r := ti.PD + taskmodel.Time(ti.MD)*dmem
@@ -536,20 +566,26 @@ func (a *Analyzer) ResponseTime(i int) (taskmodel.Time, bool) {
 	}
 	a.fpReset(ii, ti.Core, r)
 	hasLP := a.tab.row(ii).hasLP
+	conv := a.obs.ConvergenceOn()
+	var iters int64
 	for {
+		iters++
 		next := ti.PD + a.fp.procSum + taskmodel.Time(a.fpBAT(ti.MD, ti.Core, hasLP))*dmem
+		if conv {
+			a.obs.Convergence.Step(ti.Name, i, int64(next), a.dominantTerm(ti, hasLP))
+		}
 		if next > ti.Deadline {
-			return next, false
+			return next, false, iters, 0
 		}
 		if next == r {
-			return r, true
+			return r, true, iters, 0
 		}
 		if next < r {
 			// The recurrence is monotone in r; a decrease can only come
 			// from starting above the least fixed point (stale outer
 			// estimate), in which case the current r remains a valid
 			// bound.
-			return r, true
+			return r, true, iters, 0
 		}
 		if next < a.fp.minNext {
 			// Breakpoint jump: no interference term changes in
@@ -559,11 +595,70 @@ func (a *Analyzer) ResponseTime(i int) (taskmodel.Time, bool) {
 			// naive chain collapse into one step. The cursors stay
 			// valid at next, where the outer loop will resume.
 			a.fp.at = next
-			return next, true
+			return next, true, iters, 1
 		}
 		a.fpAdvance(next)
 		r = next
 	}
+}
+
+// dominantTerm names the largest interference term of the recurrence
+// right-hand side at the current cursor state, reusing the Explanation
+// field names of explain.go (CorePreemption, BAS, Remote[y], SlotWait,
+// Blocking). Access terms are compared in time units (accesses ×
+// d_mem) so they are commensurable with the processor-preemption sum;
+// the task's own PD is demand, not interference, and is excluded.
+// Only called while recording convergence traces.
+func (a *Analyzer) dominantTerm(ti *taskmodel.Task, hasLP bool) string {
+	s := a.fp
+	dmem := int64(a.TS.Platform.DMem)
+	bas := ti.MD + s.basSum
+	best, bestV := "CorePreemption", int64(s.procSum)
+	if v := bas * dmem; v > bestV {
+		best, bestV = "BAS", v
+	}
+	var plus1 int64
+	if hasLP {
+		plus1 = 1
+	}
+	switch a.Cfg.Arbiter {
+	case FP:
+		var low int64
+		for y := range s.baoSum {
+			if v := s.baoSum[y] * dmem; v > bestV {
+				best, bestV = "Remote["+strconv.Itoa(y)+"]", v
+			}
+			low += s.lowSum[y]
+		}
+		if v := (plus1 + min64(bas, low)) * dmem; v > bestV {
+			best, bestV = "Blocking", v
+		}
+	case RR:
+		slot := int64(a.TS.Platform.SlotSize)
+		for y := range s.baoSum {
+			if y == ti.Core {
+				continue
+			}
+			if v := min64(s.baoSum[y], slot*bas) * dmem; v > bestV {
+				best, bestV = "Remote["+strconv.Itoa(y)+"]", v
+			}
+		}
+		if v := plus1 * dmem; v > bestV {
+			best, bestV = "Blocking", v
+		}
+	case TDMA:
+		l := int64(a.TS.Platform.NumCores)
+		slot := int64(a.TS.Platform.SlotSize)
+		if v := (l - 1) * slot * bas * dmem; v > bestV {
+			best, bestV = "SlotWait", v
+		}
+		if v := plus1 * dmem; v > bestV {
+			best, bestV = "Blocking", v
+		}
+	case Perfect:
+		// Own accesses only; BAS already covered above.
+	}
+	return best
 }
 
 // responseTimeDirect is the pre-curve iteration, retained for queries
@@ -635,8 +730,36 @@ func (a *Analyzer) perfectBusUtil() float64 {
 // states — and aborts at the same point — as the full re-evaluation
 // performed by AnalyzeReference.
 func (a *Analyzer) Run() *Result {
+	obs := a.obs
+	if obs == nil {
+		return a.run()
+	}
+	obs.Add(telemetry.CtrRuns, 1)
+	var sp telemetry.Span
+	if obs.Tracing() {
+		sp = obs.Span("analyze "+a.Cfg.label(), "analyzer")
+	}
+	res := a.run()
+	obs.Observe(telemetry.HistOuterRounds, int64(res.OuterIterations))
+	if res.Complete {
+		obs.Add(telemetry.CtrRunsCompleted, 1)
+	}
+	if obs.Tracing() {
+		sp.EndArgs(map[string]any{
+			"tasks":       len(res.Tasks),
+			"schedulable": res.Schedulable,
+			"rounds":      res.OuterIterations,
+		})
+	}
+	return res
+}
+
+func (a *Analyzer) run() *Result {
 	res := &Result{Schedulable: true, Complete: true}
 	if a.Cfg.Arbiter == Perfect && a.perfectBusUtil() > 1.0 {
+		if a.obs != nil {
+			a.obs.Add(telemetry.CtrAbortBusOverload, 1)
+		}
 		// The perfect-bus reference additionally requires the bus not to
 		// be overloaded. The gate is a final verdict — no per-task fixed
 		// point is attempted.
@@ -667,6 +790,9 @@ func (a *Analyzer) Run() *Result {
 	converged := false
 	for iter := 0; iter < a.Cfg.MaxOuterIterations; iter++ {
 		res.OuterIterations = iter + 1
+		if a.obs != nil {
+			a.obs.Add(telemetry.CtrOuterRounds, 1)
+		}
 		changed := false
 		for idx, t := range a.TS.Tasks {
 			if !dirty[idx] {
@@ -674,6 +800,9 @@ func (a *Analyzer) Run() *Result {
 			}
 			dirty[idx] = false
 			r, ok := a.ResponseTime(t.Priority)
+			if a.obs.ConvergenceOn() {
+				a.obs.Convergence.Finish(t.Name, t.Priority, ok)
+			}
 			if !ok {
 				a.R[t.Priority] = r
 				a.rd[idx] = r
@@ -730,6 +859,13 @@ func (a *Analyzer) markDependents(idx int, dirty []bool) {
 // schedulability claim holds — and only a proven deadline miss is
 // marked Verified.
 func (a *Analyzer) fail(res *Result, failPrio int, proven bool) *Result {
+	if a.obs != nil {
+		if proven {
+			a.obs.Add(telemetry.CtrAbortDeadlineMiss, 1)
+		} else {
+			a.obs.Add(telemetry.CtrAbortNonConvergence, 1)
+		}
+	}
 	res.Schedulable = false
 	res.Complete = false
 	res.Tasks = make([]TaskResult, 0, len(a.TS.Tasks))
@@ -760,6 +896,10 @@ func Analyze(ts *taskmodel.TaskSet, cfg Config) (*Result, error) {
 // arbiter, the persistence switch or the CPRO approach). Results are
 // returned in cfgs order.
 func AnalyzeAll(ts *taskmodel.TaskSet, cfgs []Config) ([]*Result, error) {
+	return analyzeAllObs(ts, cfgs, nil)
+}
+
+func analyzeAllObs(ts *taskmodel.TaskSet, cfgs []Config, obs *telemetry.Observer) ([]*Result, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -773,7 +913,9 @@ func AnalyzeAll(ts *taskmodel.TaskSet, cfgs []Config) ([]*Result, error) {
 		}
 		// The set was validated above and the tables were built from it,
 		// so the per-analyzer checks are redundant.
-		out[i] = newAnalyzerChecked(ts, cfg, tbl).Run()
+		a := newAnalyzerChecked(ts, cfg, tbl)
+		a.obs = obs
+		out[i] = a.Run()
 	}
 	return out, nil
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
 )
 
 // BatchRequest asks for one task set to be analyzed under a list of
@@ -12,6 +15,29 @@ import (
 type BatchRequest struct {
 	TS   *taskmodel.TaskSet
 	Cfgs []Config
+	// Label names the request in trace spans and progress callbacks
+	// (e.g. "u=0.55/set 12"); empty falls back to the request index.
+	Label string
+}
+
+// BatchOptions carries the cross-cutting knobs of AnalyzeBatchOpts.
+// The zero value reproduces AnalyzeBatch exactly.
+type BatchOptions struct {
+	// Workers sizes the pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Observer receives telemetry from every analysis. Each worker gets
+	// its own trace track, so spans render as per-worker swimlanes.
+	Observer *telemetry.Observer
+	// Context, when non-nil, cancels the batch: workers finish the
+	// request they are on and stop claiming new ones. The partial
+	// results gathered so far are returned together with ctx.Err(), so
+	// interrupted sweeps can still flush what they have.
+	Context context.Context
+	// OnResult, when non-nil, is called once per finished request with
+	// the request index, its results (nil on analysis error) and the
+	// label. Called from worker goroutines; must be safe for concurrent
+	// use.
+	OnResult func(i int, res []*Result, label string)
 }
 
 // AnalyzeBatch fans the requests across a worker pool and returns, per
@@ -21,6 +47,14 @@ type BatchRequest struct {
 // parallel. workers <= 0 selects GOMAXPROCS. The first error aborts
 // nothing already in flight but is returned after all workers drain.
 func AnalyzeBatch(reqs []BatchRequest, workers int) ([][]*Result, error) {
+	return AnalyzeBatchOpts(reqs, BatchOptions{Workers: workers})
+}
+
+// AnalyzeBatchOpts is AnalyzeBatch with options. Analysis errors take
+// precedence over cancellation; on cancellation the partial results
+// are returned alongside the context's error.
+func AnalyzeBatchOpts(reqs []BatchRequest, opts BatchOptions) ([][]*Result, error) {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -32,16 +66,40 @@ func AnalyzeBatch(reqs []BatchRequest, workers int) ([][]*Result, error) {
 	if len(reqs) == 0 {
 		return out, nil
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			obs := opts.Observer.WithTrack(fmt.Sprintf("worker-%02d", w))
 			for i := range idx {
-				out[i], errs[i] = AnalyzeAll(reqs[i].TS, reqs[i].Cfgs)
+				if ctx.Err() != nil {
+					// Keep draining so the feeder never blocks, but do no
+					// further work once the batch is canceled.
+					continue
+				}
+				label := reqs[i].Label
+				if label == "" {
+					label = fmt.Sprintf("request %d", i)
+				}
+				var sp telemetry.Span
+				if obs.Tracing() {
+					sp = obs.Span(label, "batch")
+				}
+				out[i], errs[i] = analyzeAllObs(reqs[i].TS, reqs[i].Cfgs, obs)
+				if obs.Tracing() {
+					sp.End()
+				}
+				if opts.OnResult != nil {
+					opts.OnResult(i, out[i], label)
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := range reqs {
 		idx <- i
@@ -52,6 +110,9 @@ func AnalyzeBatch(reqs []BatchRequest, workers int) ([][]*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 	return out, nil
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/persistence"
 	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
 )
 
 // Event-driven fixed-point engine.
@@ -104,16 +106,25 @@ func (tb *Tables) levelCurves(ii int) *levelCurves {
 
 // curveSame returns level ii's same-core curves, built on first use.
 // With persist set, the pair entries are additionally brought to CPRO
-// depth (a no-op once done).
-func (tb *Tables) curveSame(ii int, persist bool) []termCurve {
+// depth (a no-op once done). obs, when non-nil, records whether the
+// call hit the cache or paid for a build.
+func (tb *Tables) curveSame(ii int, persist bool, obs *telemetry.Observer) []termCurve {
 	lc := tb.levelCurves(ii)
 	r := tb.row(ii)
 	if !lc.sameBuilt {
+		if obs != nil {
+			obs.Add(telemetry.CtrCurveBuilds, 1)
+			if obs.Tracing() {
+				defer obs.Span("curves level "+strconv.Itoa(ii)+" same", "curves").End()
+			}
+		}
 		lc.same = make([]termCurve, len(r.hp))
 		for k, ref := range r.hp {
 			lc.same[k] = termCurve{t: ref.t, p: tb.pair(ii, r, ref.idx), pcb: tb.pcb[ref.idx], idx: int32(ref.idx)}
 		}
 		lc.sameBuilt = true
+	} else if obs != nil {
+		obs.Add(telemetry.CtrCurveHits, 1)
 	}
 	if persist && !lc.samePersist {
 		for _, ref := range r.hp {
@@ -126,10 +137,16 @@ func (tb *Tables) curveSame(ii int, persist bool) []termCurve {
 
 // curveRemote returns level ii's hep and lp curves on core y, built on
 // first use.
-func (tb *Tables) curveRemote(ii, y int, persist bool) (remote, low []termCurve) {
+func (tb *Tables) curveRemote(ii, y int, persist bool, obs *telemetry.Observer) (remote, low []termCurve) {
 	lc := tb.levelCurves(ii)
 	r := tb.row(ii)
 	if !lc.remoteBuilt[y] {
+		if obs != nil {
+			obs.Add(telemetry.CtrCurveBuilds, 1)
+			if obs.Tracing() {
+				defer obs.Span("curves level "+strconv.Itoa(ii)+" core "+strconv.Itoa(y), "curves").End()
+			}
+		}
 		if lc.flat == nil {
 			lc.flat = make([]termCurve, len(tb.tasks))
 		}
@@ -144,6 +161,8 @@ func (tb *Tables) curveRemote(ii, y int, persist bool) (remote, low []termCurve)
 		lc.remote[y] = part[:n:n]
 		lc.low[y] = part[n:]
 		lc.remoteBuilt[y] = true
+	} else if obs != nil {
+		obs.Add(telemetry.CtrCurveHits, 1)
 	}
 	if persist && !lc.remotePersist[y] {
 		for _, ref := range r.hep[y] {
@@ -372,6 +391,7 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 	a.fp = s
 	dmem := int64(a.TS.Platform.DMem)
 	if s.valid && s.at == r {
+		var refreshed int64
 		changed := false
 		for k := range s.remote {
 			cur := &s.remote[k]
@@ -387,7 +407,12 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 				s.baoSum[cur.core] += val - cur.val
 			}
 			cur.c, cur.val, cur.next = c, val, next
+			refreshed++
 			changed = true
+		}
+		if a.obs != nil {
+			a.obs.Add(telemetry.CtrCursorResumes, 1)
+			a.obs.Add(telemetry.CtrCursorRemoteRefreshes, refreshed)
 		}
 		if changed {
 			minNext := maxTime
@@ -406,13 +431,16 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 		return
 	}
 
+	if a.obs != nil {
+		a.obs.Add(telemetry.CtrCursorRebuilds, 1)
+	}
 	persist := a.Cfg.Persistence
 	s.procSum, s.basSum = 0, 0
 	s.minNext = maxTime
 	s.at = r
 	s.valid = true
 
-	same := a.tab.curveSame(ii, persist)
+	same := a.tab.curveSame(ii, persist, a.obs)
 	if cap(s.same) < len(same) {
 		s.same = make([]sameCursor, 0, len(same))
 	}
@@ -470,7 +498,7 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 		if y == core {
 			continue
 		}
-		remote, low := a.tab.curveRemote(level, y, persist)
+		remote, low := a.tab.curveRemote(level, y, persist, a.obs)
 		addRemote(remote, y, false)
 		if a.Cfg.Arbiter == FP {
 			addRemote(low, y, true)
@@ -487,6 +515,7 @@ func (a *Analyzer) fpAdvance(t taskmodel.Time) {
 	if t < s.minNext {
 		return
 	}
+	var snaps int64
 	minNext := maxTime
 	for k := range s.same {
 		cur := &s.same[k]
@@ -495,6 +524,7 @@ func (a *Analyzer) fpAdvance(t taskmodel.Time) {
 			s.procSum += procVal - cur.procVal
 			s.basSum += basVal - cur.basVal
 			cur.procVal, cur.basVal, cur.next = procVal, basVal, next
+			snaps++
 		}
 		if cur.next < minNext {
 			minNext = cur.next
@@ -510,12 +540,16 @@ func (a *Analyzer) fpAdvance(t taskmodel.Time) {
 				s.baoSum[cur.core] += val - cur.val
 			}
 			cur.val, cur.next = val, next
+			snaps++
 		}
 		if cur.next < minNext {
 			minNext = cur.next
 		}
 	}
 	s.minNext = minNext
+	if a.obs != nil {
+		a.obs.Add(telemetry.CtrBreakpointSnaps, snaps)
+	}
 }
 
 // fpBAT combines the cursor sums into BAT exactly as BAT() does from

@@ -51,6 +51,12 @@ func cloneWithDMem(ts *taskmodel.TaskSet, dmem taskmodel.Time) *taskmodel.TaskSe
 // which the task set remains schedulable under cfg, or 0 if it is
 // unschedulable even at d_mem = 1. A limit of 0 defaults to 1<<20.
 func MaxDMem(ts *taskmodel.TaskSet, cfg Config, limit taskmodel.Time) (taskmodel.Time, error) {
+	return MaxDMemOpts(ts, cfg, limit, Options{})
+}
+
+// MaxDMemOpts is MaxDMem with options; every probe of the search
+// reports to the observer.
+func MaxDMemOpts(ts *taskmodel.TaskSet, cfg Config, limit taskmodel.Time, opts Options) (taskmodel.Time, error) {
 	if limit <= 0 {
 		limit = 1 << 20
 	}
@@ -62,6 +68,7 @@ func MaxDMem(ts *taskmodel.TaskSet, cfg Config, limit taskmodel.Time) (taskmodel
 		if err != nil {
 			return false, err
 		}
+		a.obs = opts.Observer
 		return a.Run().Schedulable, nil
 	}
 	ok, err := sched(1)
@@ -116,11 +123,17 @@ func MaxDMem(ts *taskmodel.TaskSet, cfg Config, limit taskmodel.Time) (taskmodel
 // [2^-10, 2^10]; an error is returned if even the largest scaling does
 // not help, and k = 0 is never returned.
 func CriticalScaling(ts *taskmodel.TaskSet, cfg Config, tol float64) (float64, error) {
+	return CriticalScalingOpts(ts, cfg, tol, Options{})
+}
+
+// CriticalScalingOpts is CriticalScaling with options; every probe of
+// the search reports to the observer.
+func CriticalScalingOpts(ts *taskmodel.TaskSet, cfg Config, tol float64, opts Options) (float64, error) {
 	if tol <= 0 {
 		tol = 1e-3
 	}
 	sched := func(k float64) (bool, error) {
-		res, err := Analyze(cloneScaled(ts, k), cfg)
+		res, err := AnalyzeOpts(cloneScaled(ts, k), cfg, opts)
 		if err != nil {
 			return false, err
 		}

@@ -16,19 +16,29 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/taskgen"
 	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
 	"repro/internal/textplot"
 )
+
+// ErrInterrupted reports that a study was cut short by its context.
+// The study returned alongside it is valid but built from the samples
+// analyzed before the interruption — a partial result, not the full
+// sweep.
+var ErrInterrupted = errors.New("experiments: interrupted")
 
 // Variant names one analysis configuration plotted as a series.
 type Variant struct {
@@ -65,6 +75,34 @@ type Options struct {
 	// Base is the generation configuration studies start from.
 	// Default taskgen.DefaultConfig().
 	Base taskgen.Config
+	// Observer receives telemetry from every analysis and from the
+	// benchmark-pool memoization. nil disables instrumentation.
+	Observer *telemetry.Observer
+	// Context, when non-nil, interrupts the sweep: in-flight analyses
+	// finish, the remaining ones are skipped, and the study is built
+	// from the samples gathered so far and returned together with
+	// ErrInterrupted.
+	Context context.Context
+	// Progress, when non-nil, is called after every analyzed task set.
+	// Called from worker goroutines; must be safe for concurrent use.
+	Progress func(ProgressUpdate)
+}
+
+// ProgressUpdate is one live progress snapshot of a sweep.
+type ProgressUpdate struct {
+	// Done and Total count analyzed vs planned task sets.
+	Done, Total int
+	// Verdicts counts per-variant analyses finished so far; Schedulable
+	// counts how many of those verdicts were positive.
+	Verdicts, Schedulable int64
+}
+
+// ctx returns the sweep context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() Options {
@@ -187,12 +225,19 @@ type sample struct {
 // (point, utilization) combination. configAt returns the generation
 // config and benchmark pool for a point index; utilsFor returns the
 // utilizations swept at that point.
+//
+// With a canceled context the partial per-point samples are returned
+// together with ErrInterrupted; callers fold them into a partial study.
 func sweep(opts Options, numPoints int,
 	configAt func(point int) (taskgen.Config, []taskgen.TaskParams, error),
 	utilsFor func(point int) []float64,
 	variants []Variant,
 ) ([][]sample, error) {
 	opts = opts.withDefaults()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	cfgs := make([]taskgen.Config, numPoints)
 	pools := make([][]taskgen.TaskParams, numPoints)
@@ -250,22 +295,79 @@ func sweep(opts Options, numPoints int,
 	varCfgs := variantConfigs(variants)
 	reqs := make([]core.BatchRequest, len(jobs))
 	for ji, ts := range sets {
-		reqs[ji] = core.BatchRequest{TS: ts, Cfgs: varCfgs}
+		reqs[ji] = core.BatchRequest{
+			TS:    ts,
+			Cfgs:  varCfgs,
+			Label: fmt.Sprintf("p%d u=%.2f #%d", jobs[ji].pointIdx, jobs[ji].util, jobs[ji].sample),
+		}
 	}
-	all, err := core.AnalyzeBatch(reqs, opts.Workers)
+	var done, verdicts, sched atomic.Int64
+	var onResult func(int, []*core.Result, string)
+	if opts.Progress != nil {
+		total := len(jobs)
+		onResult = func(_ int, res []*core.Result, _ string) {
+			d := done.Add(1)
+			var v, s int64
+			for _, r := range res {
+				v++
+				if r.Schedulable {
+					s++
+				}
+			}
+			opts.Progress(ProgressUpdate{
+				Done: int(d), Total: total,
+				Verdicts: verdicts.Add(v), Schedulable: sched.Add(s),
+			})
+		}
+	}
+	all, err := core.AnalyzeBatchOpts(reqs, core.BatchOptions{
+		Workers:  opts.Workers,
+		Observer: opts.Observer,
+		Context:  ctx,
+		OnResult: onResult,
+	})
+	interrupted := false
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		interrupted = true
 	}
 
 	perPoint := make([][]sample, numPoints)
 	for ji, j := range jobs {
+		if all[ji] == nil {
+			// Skipped after the interrupt.
+			continue
+		}
 		perPoint[j.pointIdx] = append(perPoint[j.pointIdx], sample{
 			pointIdx: j.pointIdx,
 			util:     sets[ji].TotalUtilization() / float64(cfgs[j.pointIdx].Platform.NumCores),
 			verdict:  verdictMap(all[ji], variants),
 		})
 	}
+	if interrupted {
+		return perPoint, ErrInterrupted
+	}
 	return perPoint, nil
+}
+
+// progressTracker folds serial per-sample verdicts into ProgressUpdate
+// callbacks for the extension studies, which do not go through sweep.
+type progressTracker struct {
+	opts            Options
+	total, done     int
+	verdicts, sched int64
+}
+
+func (p *progressTracker) add(verdicts, sched int64) {
+	if p.opts.Progress == nil {
+		return
+	}
+	p.done++
+	p.verdicts += verdicts
+	p.sched += sched
+	p.opts.Progress(ProgressUpdate{Done: p.done, Total: p.total, Verdicts: p.verdicts, Schedulable: p.sched})
 }
 
 // weightedSeries reduces sweep samples to one weighted-schedulability

@@ -20,7 +20,7 @@ import (
 func ExtCRPD(opts Options) (*Study, error) {
 	opts = opts.withDefaults()
 	approaches := []crpd.Approach{crpd.ECBUnion, crpd.UCBOnly, crpd.ECBOnly, crpd.UCBUnion, crpd.Combined}
-	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	pool, err := taskgen.PoolFromSuiteObs(opts.Base.Platform.Cache, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -32,9 +32,16 @@ func ExtCRPD(opts Options) (*Study, error) {
 		anaCfgs[i] = core.Config{Arbiter: core.RR, Persistence: true, CRPD: ap}
 	}
 
+	ctx := opts.ctx()
+	prog := &progressTracker{opts: opts, total: len(opts.Utilizations) * opts.TaskSetsPerPoint}
+	interrupted := false
 	for ui, util := range opts.Utilizations {
 		obs := make([][]stats.Observation, len(approaches))
 		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			seed := seedFor(opts.Seed, sample, util)
 			cfg := opts.Base
 			cfg.CoreUtilization = util
@@ -43,19 +50,31 @@ func ExtCRPD(opts Options) (*Study, error) {
 				return nil, err
 			}
 			u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
-			all, err := core.AnalyzeAll(ts, anaCfgs)
+			all, err := core.AnalyzeAllOpts(ts, anaCfgs, core.Options{Observer: opts.Observer})
 			if err != nil {
 				return nil, err
 			}
+			var sched int64
 			for ai, res := range all {
 				obs[ai] = append(obs[ai], stats.Observation{Utilization: u, Schedulable: res.Schedulable})
+				if res.Schedulable {
+					sched++
+				}
 			}
+			prog.add(int64(len(all)), sched)
 		}
 		for ai := range approaches {
 			series[ai].Values[ui] = stats.Ratio(obs[ai])
 		}
+		if interrupted {
+			break
+		}
 	}
 
+	var retErr error
+	if interrupted {
+		retErr = ErrInterrupted
+	}
 	return &Study{
 		ID:               "ExtCRPD",
 		Title:            "RR-CP schedulability per CRPD approach",
@@ -64,7 +83,7 @@ func ExtCRPD(opts Options) (*Study, error) {
 		Xs:               opts.Utilizations,
 		Series:           series,
 		TaskSetsPerPoint: opts.TaskSetsPerPoint,
-	}, nil
+	}, retErr
 }
 
 // ExtPartition compares task-to-core placement heuristics under the
@@ -75,7 +94,7 @@ func ExtCRPD(opts Options) (*Study, error) {
 func ExtPartition(opts Options) (*Study, error) {
 	opts = opts.withDefaults()
 	heuristics := []partition.Heuristic{partition.FirstFit, partition.WorstFit, partition.CacheAware}
-	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	pool, err := taskgen.PoolFromSuiteObs(opts.Base.Platform.Cache, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -90,9 +109,16 @@ func ExtPartition(opts Options) (*Study, error) {
 	}
 	anaCfg := core.Config{Arbiter: core.RR, Persistence: true}
 
+	ctx := opts.ctx()
+	prog := &progressTracker{opts: opts, total: len(opts.Utilizations) * opts.TaskSetsPerPoint}
+	interrupted := false
 	for ui, util := range opts.Utilizations {
 		obs := make([][]stats.Observation, len(names))
 		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			seed := seedFor(opts.Seed, sample, util)
 			cfg := opts.Base
 			cfg.CoreUtilization = util
@@ -102,30 +128,47 @@ func ExtPartition(opts Options) (*Study, error) {
 			}
 			u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
 
+			var verdicts, sched int64
 			// 0: the generator's own per-core split.
-			res, err := core.Analyze(ts, anaCfg)
+			res, err := core.AnalyzeOpts(ts, anaCfg, core.Options{Observer: opts.Observer})
 			if err != nil {
 				return nil, err
 			}
 			obs[0] = append(obs[0], stats.Observation{Utilization: u, Schedulable: res.Schedulable})
+			verdicts++
+			if res.Schedulable {
+				sched++
+			}
 
 			for hi, h := range heuristics {
 				verdict := false
 				if err := partition.Assign(ts, h); err == nil {
-					res, err := core.Analyze(ts, anaCfg)
+					res, err := core.AnalyzeOpts(ts, anaCfg, core.Options{Observer: opts.Observer})
 					if err != nil {
 						return nil, err
 					}
 					verdict = res.Schedulable
 				}
 				obs[hi+1] = append(obs[hi+1], stats.Observation{Utilization: u, Schedulable: verdict})
+				verdicts++
+				if verdict {
+					sched++
+				}
 			}
+			prog.add(verdicts, sched)
 		}
 		for i := range names {
 			series[i].Values[ui] = stats.Ratio(obs[i])
 		}
+		if interrupted {
+			break
+		}
 	}
 
+	var retErr error
+	if interrupted {
+		retErr = ErrInterrupted
+	}
 	return &Study{
 		ID:               "ExtPartition",
 		Title:            "RR-CP schedulability per partitioning heuristic",
@@ -134,7 +177,7 @@ func ExtPartition(opts Options) (*Study, error) {
 		Xs:               opts.Utilizations,
 		Series:           series,
 		TaskSetsPerPoint: opts.TaskSetsPerPoint,
-	}, nil
+	}, retErr
 }
 
 // ExtOPA compares priority-assignment policies under the RR-CP
@@ -143,7 +186,7 @@ func ExtPartition(opts Options) (*Study, error) {
 // any assignment that works, including DM itself.
 func ExtOPA(opts Options) (*Study, error) {
 	opts = opts.withDefaults()
-	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	pool, err := taskgen.PoolFromSuiteObs(opts.Base.Platform.Cache, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -152,9 +195,16 @@ func ExtOPA(opts Options) (*Study, error) {
 		{Name: "DM", Values: make([]float64, len(opts.Utilizations))},
 		{Name: "OPA", Values: make([]float64, len(opts.Utilizations))},
 	}
+	ctx := opts.ctx()
+	prog := &progressTracker{opts: opts, total: len(opts.Utilizations) * opts.TaskSetsPerPoint}
+	interrupted := false
 	for ui, util := range opts.Utilizations {
 		var dmObs, opaObs []stats.Observation
 		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			seed := seedFor(opts.Seed, sample, util)
 			cfg := opts.Base
 			cfg.CoreUtilization = util
@@ -163,7 +213,7 @@ func ExtOPA(opts Options) (*Study, error) {
 				return nil, err
 			}
 			u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
-			res, err := core.Analyze(ts, anaCfg)
+			res, err := core.AnalyzeOpts(ts, anaCfg, core.Options{Observer: opts.Observer})
 			if err != nil {
 				return nil, err
 			}
@@ -177,9 +227,24 @@ func ExtOPA(opts Options) (*Study, error) {
 				opaVerdict = r.Schedulable
 			}
 			opaObs = append(opaObs, stats.Observation{Utilization: u, Schedulable: opaVerdict})
+			var sched int64
+			if res.Schedulable {
+				sched++
+			}
+			if opaVerdict {
+				sched++
+			}
+			prog.add(2, sched)
 		}
 		series[0].Values[ui] = stats.Ratio(dmObs)
 		series[1].Values[ui] = stats.Ratio(opaObs)
+		if interrupted {
+			break
+		}
+	}
+	var retErr error
+	if interrupted {
+		retErr = ErrInterrupted
 	}
 	return &Study{
 		ID:               "ExtOPA",
@@ -189,7 +254,7 @@ func ExtOPA(opts Options) (*Study, error) {
 		Xs:               opts.Utilizations,
 		Series:           series,
 		TaskSetsPerPoint: opts.TaskSetsPerPoint,
-	}, nil
+	}, retErr
 }
 
 // ExtGen checks the evaluation's robustness to the task-generation
@@ -199,7 +264,7 @@ func ExtOPA(opts Options) (*Study, error) {
 // dominance must be visible under both.
 func ExtGen(opts Options) (*Study, error) {
 	opts = opts.withDefaults()
-	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	pool, err := taskgen.PoolFromSuiteObs(opts.Base.Platform.Cache, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -236,10 +301,18 @@ func ExtGen(opts Options) (*Study, error) {
 		}
 	}
 
+	ctx := opts.ctx()
+	prog := &progressTracker{opts: opts, total: len(opts.Utilizations) * opts.TaskSetsPerPoint}
+	interrupted := false
 	for ui, util := range opts.Utilizations {
 		obs := make([][]stats.Observation, len(series))
 		for sample := 0; sample < opts.TaskSetsPerPoint; sample++ {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			seed := seedFor(opts.Seed, sample, util)
+			var verdicts, sched int64
 			for mi, m := range modes {
 				cfg := opts.Base
 				cfg.CoreUtilization = util
@@ -249,19 +322,31 @@ func ExtGen(opts Options) (*Study, error) {
 					return nil, err
 				}
 				u := ts.TotalUtilization() / float64(cfg.Platform.NumCores)
-				all, err := core.AnalyzeAll(ts, anaCfgs)
+				all, err := core.AnalyzeAllOpts(ts, anaCfgs, core.Options{Observer: opts.Observer})
 				if err != nil {
 					return nil, err
 				}
 				for ai, res := range all {
 					idx := mi*len(anas) + ai
 					obs[idx] = append(obs[idx], stats.Observation{Utilization: u, Schedulable: res.Schedulable})
+					verdicts++
+					if res.Schedulable {
+						sched++
+					}
 				}
 			}
+			prog.add(verdicts, sched)
 		}
 		for i := range series {
 			series[i].Values[ui] = stats.Ratio(obs[i])
 		}
+		if interrupted {
+			break
+		}
+	}
+	var retErr error
+	if interrupted {
+		retErr = ErrInterrupted
 	}
 	return &Study{
 		ID:               "ExtGen",
@@ -271,5 +356,5 @@ func ExtGen(opts Options) (*Study, error) {
 		Xs:               opts.Utilizations,
 		Series:           series,
 		TaskSetsPerPoint: opts.TaskSetsPerPoint,
-	}, nil
+	}, retErr
 }

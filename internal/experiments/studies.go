@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -20,17 +21,17 @@ func Fig2(arb core.Arbiter, opts Options) (*Study, error) {
 		{arb.String() + "-CP", arb, true},
 		{"Perfect", core.Perfect, true},
 	}
-	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	pool, err := taskgen.PoolFromSuiteObs(opts.Base.Platform.Cache, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
-	perPoint, err := sweep(opts, len(opts.Utilizations),
+	perPoint, sweepErr := sweep(opts, len(opts.Utilizations),
 		func(int) (taskgen.Config, []taskgen.TaskParams, error) { return opts.Base, pool, nil },
 		func(p int) []float64 { return opts.Utilizations[p : p+1] },
 		variants,
 	)
-	if err != nil {
-		return nil, err
+	if sweepErr != nil && !errors.Is(sweepErr, ErrInterrupted) {
+		return nil, sweepErr
 	}
 
 	series := make([]textplot.Series, len(variants))
@@ -68,7 +69,7 @@ func Fig2(arb core.Arbiter, opts Options) (*Study, error) {
 		Series:           series,
 		Intervals:        intervals,
 		TaskSetsPerPoint: opts.TaskSetsPerPoint,
-	}, nil
+	}, sweepErr
 }
 
 // weightedStudy runs a Fig. 3 style experiment: for every value of the
@@ -79,12 +80,12 @@ func weightedStudy(opts Options, id, title, xlabel string, xs []float64,
 ) (*Study, error) {
 	opts = opts.withDefaults()
 	variants := PaperVariants()
-	perPoint, err := sweep(opts, len(xs), configAt,
+	perPoint, sweepErr := sweep(opts, len(xs), configAt,
 		func(int) []float64 { return opts.Utilizations },
 		variants,
 	)
-	if err != nil {
-		return nil, err
+	if sweepErr != nil && !errors.Is(sweepErr, ErrInterrupted) {
+		return nil, sweepErr
 	}
 	return &Study{
 		ID:               id,
@@ -94,14 +95,14 @@ func weightedStudy(opts Options, id, title, xlabel string, xs []float64,
 		Xs:               xs,
 		Series:           weightedSeries(perPoint, variants),
 		TaskSetsPerPoint: opts.TaskSetsPerPoint,
-	}, nil
+	}, sweepErr
 }
 
 // Fig3a sweeps the number of cores (2..10 step 2 in the paper).
 func Fig3a(opts Options) (*Study, error) {
 	opts = opts.withDefaults()
 	cores := []float64{2, 4, 6, 8, 10}
-	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	pool, err := taskgen.PoolFromSuiteObs(opts.Base.Platform.Cache, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +118,7 @@ func Fig3a(opts Options) (*Study, error) {
 func Fig3b(opts Options) (*Study, error) {
 	opts = opts.withDefaults()
 	dmems := []float64{2, 4, 6, 8, 10}
-	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	pool, err := taskgen.PoolFromSuiteObs(opts.Base.Platform.Cache, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +140,7 @@ func Fig3c(opts Options) (*Study, error) {
 		func(p int) (taskgen.Config, []taskgen.TaskParams, error) {
 			cfg := opts.Base
 			cfg.Platform.Cache.NumSets = int(sizes[p])
-			pool, err := taskgen.PoolFromSuite(cfg.Platform.Cache)
+			pool, err := taskgen.PoolFromSuiteObs(cfg.Platform.Cache, opts.Observer)
 			return cfg, pool, err
 		})
 }
@@ -148,7 +149,7 @@ func Fig3c(opts Options) (*Study, error) {
 func Fig3d(opts Options) (*Study, error) {
 	opts = opts.withDefaults()
 	slots := []float64{1, 2, 3, 4, 5, 6}
-	pool, err := taskgen.PoolFromSuite(opts.Base.Platform.Cache)
+	pool, err := taskgen.PoolFromSuiteObs(opts.Base.Platform.Cache, opts.Observer)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+func TestFig2InterruptedReturnsPartialStudy(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := smallOpts()
+	opts.Context = ctx
+	st, err := Fig2(core.FP, opts)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if st == nil {
+		t.Fatal("interrupted study must still be returned")
+	}
+	// Pre-canceled: no samples, but the study skeleton stays chart-ready.
+	if len(st.Xs) != 3 || len(st.Series) != 3 {
+		t.Errorf("partial study shape wrong: xs=%d series=%d", len(st.Xs), len(st.Series))
+	}
+}
+
+func TestExtensionsInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := smallOpts()
+	opts.Context = ctx
+	for name, run := range map[string]func(Options) (*Study, error){
+		"ExtCRPD": ExtCRPD, "ExtPartition": ExtPartition, "ExtOPA": ExtOPA, "ExtGen": ExtGen,
+	} {
+		st, err := run(opts)
+		if !errors.Is(err, ErrInterrupted) {
+			t.Errorf("%s: err = %v, want ErrInterrupted", name, err)
+		}
+		if st == nil {
+			t.Errorf("%s: interrupted study must still be returned", name)
+		}
+	}
+}
+
+func TestFig2ProgressAndObserver(t *testing.T) {
+	obs := telemetry.New()
+	opts := smallOpts()
+	opts.Observer = obs
+	var mu sync.Mutex
+	var last ProgressUpdate
+	calls := 0
+	opts.Progress = func(u ProgressUpdate) {
+		mu.Lock()
+		last = u
+		calls++
+		mu.Unlock()
+	}
+	if _, err := Fig2(core.FP, opts); err != nil {
+		t.Fatal(err)
+	}
+	total := len(opts.Utilizations) * opts.TaskSetsPerPoint
+	if calls != total {
+		t.Errorf("progress calls = %d, want %d", calls, total)
+	}
+	if last.Done != total || last.Total != total {
+		t.Errorf("final progress = %+v, want done=total=%d", last, total)
+	}
+	// Fig2 runs 3 variants per task set.
+	if want := int64(total * 3); last.Verdicts != want {
+		t.Errorf("verdicts = %d, want %d", last.Verdicts, want)
+	}
+	if runs := obs.Metrics.Get(telemetry.CtrRuns); runs != int64(total*3) {
+		t.Errorf("analyzer.runs = %d, want %d", runs, total*3)
+	}
+	// The pool memo was consulted once by this study.
+	memo := obs.Metrics.Get(telemetry.CtrPoolMemoHits) + obs.Metrics.Get(telemetry.CtrPoolMemoMisses)
+	if memo != 1 {
+		t.Errorf("pool memo lookups = %d, want 1", memo)
+	}
+}
+
+func TestSweepMidwayInterrupt(t *testing.T) {
+	// Cancel after the first progress callback: the sweep must stop
+	// early yet return verdicts for everything already analyzed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := smallOpts()
+	opts.TaskSetsPerPoint = 20
+	opts.Workers = 2
+	opts.Context = ctx
+	var mu sync.Mutex
+	done := 0
+	opts.Progress = func(u ProgressUpdate) {
+		mu.Lock()
+		done = u.Done
+		mu.Unlock()
+		cancel()
+	}
+	st, err := Fig2(core.FP, opts)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if st == nil {
+		t.Fatal("no partial study")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if done == 0 {
+		t.Error("no task set finished before the interrupt")
+	}
+	total := len(opts.Utilizations) * opts.TaskSetsPerPoint
+	if done == total {
+		t.Skip("machine fast enough to finish before cancellation propagated")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/benchsuite"
 	"repro/internal/cacheset"
 	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
 )
 
 // TaskParams are the per-benchmark parameters a generated task copies.
@@ -40,9 +41,22 @@ var poolCache struct {
 // per geometry; each call returns a fresh copy with cloned cache sets,
 // so callers may mutate their pool freely.
 func PoolFromSuite(cache taskmodel.CacheConfig) ([]TaskParams, error) {
+	return PoolFromSuiteObs(cache, nil)
+}
+
+// PoolFromSuiteObs is PoolFromSuite reporting memoization hits and
+// misses to the observer (pool.memo_hits / pool.memo_misses).
+func PoolFromSuiteObs(cache taskmodel.CacheConfig, obs *telemetry.Observer) ([]TaskParams, error) {
 	poolCache.Lock()
 	defer poolCache.Unlock()
 	cached, ok := poolCache.pools[cache]
+	if obs != nil {
+		if ok {
+			obs.Add(telemetry.CtrPoolMemoHits, 1)
+		} else {
+			obs.Add(telemetry.CtrPoolMemoMisses, 1)
+		}
+	}
 	if !ok {
 		ps, err := benchsuite.ExtractAll(cache)
 		if err != nil {

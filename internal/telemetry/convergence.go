@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Per-task convergence traces: the sequence of response-time iterates
+// the inner fixed point visited, each annotated with the interference
+// term that dominated the recurrence right-hand side at that iterate.
+// Term names follow the Explanation decomposition of
+// internal/core/explain.go — CorePreemption, BAS, Remote[y], SlotWait,
+// Blocking — so a trace reads as "which Eq. (19) term pushed the bound
+// up at this step".
+
+// ConvergenceStep is one recorded iterate.
+type ConvergenceStep struct {
+	// Iterate is the recurrence value f(r) computed at this step.
+	Iterate int64
+	// Dominant names the largest interference term at the previous
+	// iterate (explain.go naming).
+	Dominant string
+}
+
+// TaskTrace is the full recorded iterate chain of one task, spanning
+// every analysis of the task across outer rounds.
+type TaskTrace struct {
+	Task     string
+	Priority int
+	Steps    []ConvergenceStep
+	// Converged reports the verdict of the task's last analysis: true
+	// when the inner fixed point converged at or below the deadline.
+	Converged bool
+}
+
+// ConvergenceLog records task traces. Safe for concurrent use; traces
+// of tasks with the same name (across task sets of a batch) are merged,
+// which keeps the log meaningful for its intended single-task-set use
+// (cmd/buscon) without breaking batch runs.
+type ConvergenceLog struct {
+	mu    sync.Mutex
+	order []string
+	byKey map[string]*TaskTrace
+	// maxSteps bounds a single task's recorded steps (0 = default).
+	maxSteps int
+}
+
+// defaultMaxSteps bounds one task's trace; the event-driven iteration
+// converges in at most one step per breakpoint region, so real chains
+// are far shorter.
+const defaultMaxSteps = 4096
+
+// NewConvergenceLog returns an empty log.
+func NewConvergenceLog() *ConvergenceLog {
+	return &ConvergenceLog{byKey: make(map[string]*TaskTrace), maxSteps: defaultMaxSteps}
+}
+
+func (l *ConvergenceLog) trace(task string, prio int) *TaskTrace {
+	t, ok := l.byKey[task]
+	if !ok {
+		t = &TaskTrace{Task: task, Priority: prio}
+		l.byKey[task] = t
+		l.order = append(l.order, task)
+	}
+	return t
+}
+
+// Step appends one iterate to the task's trace.
+func (l *ConvergenceLog) Step(task string, prio int, iterate int64, dominant string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	t := l.trace(task, prio)
+	if len(t.Steps) < l.maxSteps {
+		t.Steps = append(t.Steps, ConvergenceStep{Iterate: iterate, Dominant: dominant})
+	}
+	l.mu.Unlock()
+}
+
+// Finish records the verdict of the task's latest analysis.
+func (l *ConvergenceLog) Finish(task string, prio int, converged bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.trace(task, prio).Converged = converged
+	l.mu.Unlock()
+}
+
+// Traces returns the recorded traces in first-seen order.
+func (l *ConvergenceLog) Traces() []*TaskTrace {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*TaskTrace, 0, len(l.order))
+	for _, k := range l.order {
+		out = append(out, l.byKey[k])
+	}
+	return out
+}
+
+// Render writes the traces as a compact human-readable report: one
+// line per task with the iterate chain and the dominating term where
+// it changes.
+func (l *ConvergenceLog) Render(w io.Writer) error {
+	for _, t := range l.Traces() {
+		verdict := "converged"
+		if !t.Converged {
+			verdict = "NOT converged"
+		}
+		fmt.Fprintf(w, "%s (prio %d, %d steps, %s):\n", t.Task, t.Priority, len(t.Steps), verdict)
+		var b strings.Builder
+		prevDom := ""
+		for i, s := range t.Steps {
+			if i > 0 {
+				b.WriteString(" -> ")
+			}
+			fmt.Fprintf(&b, "%d", s.Iterate)
+			if s.Dominant != prevDom {
+				fmt.Fprintf(&b, " [%s]", s.Dominant)
+				prevDom = s.Dominant
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %s\n", b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

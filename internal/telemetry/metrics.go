@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"text/tabwriter"
+)
+
+// Counter identifies one analyzer-wide event count. Counters are
+// updated with atomic adds, so one Metrics value can be shared by every
+// worker of a batch run; the names (String) double as the keys of
+// Snapshot and of the counter samples embedded in exported traces.
+type Counter int
+
+const (
+	// CtrRuns counts Analyzer.Run invocations (one whole-task-set
+	// outer fixed point).
+	CtrRuns Counter = iota
+	// CtrRunsCompleted counts Runs whose outer fixed point converged
+	// for every task (Result.Complete).
+	CtrRunsCompleted
+	// CtrOuterRounds counts outer fixed-point rounds across all Runs.
+	CtrOuterRounds
+	// CtrTaskAnalyses counts ResponseTime invocations (per-task inner
+	// fixed points, including re-analyses in later outer rounds).
+	CtrTaskAnalyses
+	// CtrInnerIterations counts iterates of the inner recurrence.
+	CtrInnerIterations
+	// CtrBreakpointJumps counts inner iterations terminated by the
+	// breakpoint jump (iterate below every pending breakpoint).
+	CtrBreakpointJumps
+	// CtrBreakpointSnaps counts cursor re-evaluations during
+	// fpAdvance — breakpoints actually crossed by an iterate.
+	CtrBreakpointSnaps
+	// CtrCursorRebuilds counts full cursor rebuilds in fpReset (cold
+	// level, or seed below the cursors' resting iterate).
+	CtrCursorRebuilds
+	// CtrCursorResumes counts fpReset calls that reused the level's
+	// resting cursors from a previous analysis.
+	CtrCursorResumes
+	// CtrCursorRemoteRefreshes counts remote cursors re-evaluated on a
+	// resume because their carry-in offset (the remote estimate R_l)
+	// changed since the level was last analyzed.
+	CtrCursorRemoteRefreshes
+	// CtrCurveBuilds counts per-(level, core-column) interference-curve
+	// materializations (curve cache misses).
+	CtrCurveBuilds
+	// CtrCurveHits counts curve lookups served by an already-built
+	// materialization.
+	CtrCurveHits
+	// CtrAbortDeadlineMiss counts Runs aborted by a proven deadline
+	// miss.
+	CtrAbortDeadlineMiss
+	// CtrAbortNonConvergence counts Runs aborted by the outer iteration
+	// budget running out before global convergence.
+	CtrAbortNonConvergence
+	// CtrAbortBusOverload counts perfect-bus analyses rejected by the
+	// bus-utilization gate before any fixed point was attempted.
+	CtrAbortBusOverload
+	// CtrPoolMemoHits counts benchmark-pool extractions served from the
+	// per-geometry memo cache; CtrPoolMemoMisses counts cold extractions.
+	CtrPoolMemoHits
+	CtrPoolMemoMisses
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	CtrRuns:                  "analyzer.runs",
+	CtrRunsCompleted:         "analyzer.runs_completed",
+	CtrOuterRounds:           "analyzer.outer_rounds",
+	CtrTaskAnalyses:          "analyzer.task_analyses",
+	CtrInnerIterations:       "fp.inner_iterations",
+	CtrBreakpointJumps:       "fp.breakpoint_jumps",
+	CtrBreakpointSnaps:       "fp.breakpoint_snaps",
+	CtrCursorRebuilds:        "fp.cursor_rebuilds",
+	CtrCursorResumes:         "fp.cursor_resumes",
+	CtrCursorRemoteRefreshes: "fp.cursor_remote_refreshes",
+	CtrCurveBuilds:           "curves.builds",
+	CtrCurveHits:             "curves.hits",
+	CtrAbortDeadlineMiss:     "abort.deadline_miss",
+	CtrAbortNonConvergence:   "abort.nonconvergence",
+	CtrAbortBusOverload:      "abort.bus_overload",
+	CtrPoolMemoHits:          "pool.memo_hits",
+	CtrPoolMemoMisses:        "pool.memo_misses",
+}
+
+func (c Counter) String() string {
+	if c >= 0 && c < numCounters {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("counter(%d)", int(c))
+}
+
+// HistID identifies one of the fixed value distributions Metrics
+// tracks alongside the counters.
+type HistID int
+
+const (
+	// HistOuterRounds is the distribution of outer fixed-point rounds
+	// per Run.
+	HistOuterRounds HistID = iota
+	// HistInnerIters is the distribution of inner iterates per
+	// ResponseTime call.
+	HistInnerIters
+
+	numHists
+)
+
+var histNames = [numHists]string{
+	HistOuterRounds: "analyzer.outer_rounds_per_run",
+	HistInnerIters:  "fp.iterations_per_analysis",
+}
+
+func (h HistID) String() string {
+	if h >= 0 && h < numHists {
+		return histNames[h]
+	}
+	return fmt.Sprintf("hist(%d)", int(h))
+}
+
+// histBuckets bounds the log2 bucket range; bucket k collects values v
+// with bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k).
+const histBuckets = 32
+
+// Histogram is a lock-free log2-bucketed distribution of non-negative
+// integer observations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value; negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	// Buckets[k] counts observations in [2^(k-1), 2^k); trailing empty
+	// buckets are trimmed.
+	Buckets []int64 `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	last := -1
+	var buckets [histBuckets]int64
+	for i := range buckets {
+		buckets[i] = h.buckets[i].Load()
+		if buckets[i] != 0 {
+			last = i
+		}
+	}
+	s.Buckets = append([]int64(nil), buckets[:last+1]...)
+	return s
+}
+
+// Metrics is the shared counter/histogram sink of one observed run.
+// All methods are safe for concurrent use.
+type Metrics struct {
+	counters [numCounters]atomic.Int64
+	hists    [numHists]Histogram
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Add increments counter c by d.
+func (m *Metrics) Add(c Counter, d int64) {
+	if c >= 0 && c < numCounters {
+		m.counters[c].Add(d)
+	}
+}
+
+// Get returns the current value of counter c.
+func (m *Metrics) Get(c Counter) int64 {
+	if c >= 0 && c < numCounters {
+		return m.counters[c].Load()
+	}
+	return 0
+}
+
+// Observe records v into histogram h.
+func (m *Metrics) Observe(h HistID, v int64) {
+	if h >= 0 && h < numHists {
+		m.hists[h].Observe(v)
+	}
+}
+
+// Hist returns histogram h for inspection.
+func (m *Metrics) Hist(h HistID) *Histogram {
+	if h >= 0 && h < numHists {
+		return &m.hists[h]
+	}
+	return nil
+}
+
+// Counters returns the nonzero counters keyed by name — the payload
+// embedded into exported traces and the metrics summary.
+func (m *Metrics) Counters() map[string]int64 {
+	out := make(map[string]int64, numCounters)
+	for c := Counter(0); c < numCounters; c++ {
+		if v := m.counters[c].Load(); v != 0 {
+			out[c.String()] = v
+		}
+	}
+	return out
+}
+
+// WriteSummary renders the nonzero counters and non-empty histograms
+// as an aligned, name-sorted table.
+func (m *Metrics) WriteSummary(w io.Writer) error {
+	counters := m.Counters()
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "counter\tvalue")
+	for _, n := range names {
+		fmt.Fprintf(tw, "%s\t%d\n", n, counters[n])
+	}
+	for h := HistID(0); h < numHists; h++ {
+		s := m.hists[h].Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\tcount=%d mean=%.2f max=%d\n", h, s.Count, s.Mean, s.Max)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Runtime/pprof profile plumbing, folded into the telemetry lifecycle
+// so the -cpuprofile/-memprofile flags of the command-line tools share
+// a Session with counters and traces. The profiles are the intended
+// input of `go tool pprof` when chasing analyzer regressions (see
+// DESIGN.md, "Breakpoint-jumping fixed point").
+
+// StartProfiles begins CPU profiling to cpuPath (if non-empty) and
+// returns a stop function that ends the CPU profile and writes a heap
+// profile to memPath (if non-empty). The stop function must run before
+// the process exits — including early os.Exit paths — or the CPU
+// profile is truncated and the heap profile never written. Either path
+// may be empty; with both empty, StartProfiles is a no-op returning a
+// no-op stop.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("telemetry: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("telemetry: %w", err)
+			}
+			// An up-to-date heap profile needs the dead objects of the
+			// just-finished run collected first.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("telemetry: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("telemetry: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

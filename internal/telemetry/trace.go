@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Span-based timing, exported in the Chrome trace-event JSON format
+// (the JSON flavour Perfetto and chrome://tracing load directly).
+// Spans are recorded as complete ("X") events with microsecond
+// timestamps relative to the recorder's start; tracks map to trace
+// threads, named via "M" thread_name metadata events, so each batch
+// worker renders as its own swimlane.
+//
+// The recorder buffers events in memory behind one mutex — spans are
+// per-task-analysis, per-curve-build and per-sweep-request, never
+// per-inner-iterate, so contention stays negligible next to the work
+// being timed. maxTraceEvents bounds the buffer; events beyond it are
+// counted and reported in the export instead of silently vanishing.
+
+// maxTraceEvents caps the in-memory event buffer (~1M events ≈ a few
+// hundred MB of JSON; big sweeps should sample with -tasksets).
+const maxTraceEvents = 1 << 20
+
+// traceEvent is one Chrome trace-event object.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceRecorder collects trace events for one observed run.
+type TraceRecorder struct {
+	mu      sync.Mutex
+	start   time.Time
+	pid     int
+	nextTID int
+	events  []traceEvent
+	dropped int64
+	main    *Track
+}
+
+// NewTraceRecorder returns a recorder whose clock starts now, with a
+// default "main" track for spans not attributed to a specific worker.
+func NewTraceRecorder() *TraceRecorder {
+	r := &TraceRecorder{start: time.Now(), pid: os.Getpid()}
+	r.main = r.Track("main")
+	return r
+}
+
+// now returns the trace-relative timestamp in microseconds.
+func (r *TraceRecorder) now() float64 {
+	return float64(time.Since(r.start)) / float64(time.Microsecond)
+}
+
+func (r *TraceRecorder) emit(ev traceEvent) {
+	r.mu.Lock()
+	if len(r.events) >= maxTraceEvents {
+		r.dropped++
+	} else {
+		r.events = append(r.events, ev)
+	}
+	r.mu.Unlock()
+}
+
+// Track allocates a new trace thread with the given display name.
+// Nil-safe: a nil recorder returns a nil track, whose span methods are
+// no-ops.
+func (r *TraceRecorder) Track(name string) *Track {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	tid := r.nextTID
+	r.nextTID++
+	r.mu.Unlock()
+	r.emit(traceEvent{
+		Name: "thread_name", Ph: "M", PID: r.pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+	return &Track{r: r, tid: tid}
+}
+
+// Main returns the recorder's default track.
+func (r *TraceRecorder) Main() *Track {
+	if r == nil {
+		return nil
+	}
+	return r.main
+}
+
+// Counters emits a "C" counter event, rendering as counter tracks in
+// Perfetto. Values must be numeric.
+func (r *TraceRecorder) Counters(name string, values map[string]int64) {
+	if r == nil {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	r.emit(traceEvent{Name: name, Ph: "C", TS: r.now(), PID: r.pid, TID: 0, Args: args})
+}
+
+// WriteJSON exports the buffered events as a Chrome trace-event JSON
+// object. The export appends a final "telemetry" instant event whose
+// args carry the metrics snapshot (when one is attached via
+// Session.Close) so counters travel with the trace.
+func (r *TraceRecorder) WriteJSON(w io.Writer, finalArgs map[string]any) error {
+	r.mu.Lock()
+	events := make([]traceEvent, len(r.events))
+	copy(events, r.events)
+	dropped := r.dropped
+	ts := r.now()
+	r.mu.Unlock()
+	if finalArgs == nil {
+		finalArgs = map[string]any{}
+	}
+	finalArgs["dropped_events"] = dropped
+	events = append(events, traceEvent{
+		Name: "telemetry", Cat: "meta", Ph: "i", TS: ts, PID: r.pid, TID: 0,
+		Args: finalArgs,
+	})
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Track is one trace thread (a Perfetto swimlane).
+type Track struct {
+	r   *TraceRecorder
+	tid int
+}
+
+// Span is an in-flight timed region. The zero Span (and any span from
+// a nil recorder/track) is a no-op, so call sites need no nil checks.
+type Span struct {
+	t     *Track
+	name  string
+	cat   string
+	start float64
+}
+
+// Begin opens a span on the track.
+func (t *Track) Begin(name, cat string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, start: t.r.now()}
+}
+
+// Instant emits a zero-duration instant event on the track.
+func (t *Track) Instant(name, cat string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.r.emit(traceEvent{Name: name, Cat: cat, Ph: "i", TS: t.r.now(), PID: t.r.pid, TID: t.tid, Args: args})
+}
+
+// End closes the span with no arguments.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs closes the span, attaching args to the emitted event.
+func (s Span) EndArgs(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	r := s.t.r
+	end := r.now()
+	dur := end - s.start
+	if dur <= 0 {
+		// Chrome trace "X" events need a positive duration to render;
+		// sub-resolution spans get the smallest representable one.
+		dur = 0.001
+	}
+	r.emit(traceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X", TS: s.start, Dur: dur,
+		PID: r.pid, TID: s.t.tid, Args: args,
+	})
+}
