@@ -22,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -219,14 +220,28 @@ func runCompare(args []string, stdout, stderr io.Writer) (int, error) {
 	return 0, nil
 }
 
-func run() error {
-	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
-	bench := flag.String("bench", ".", "benchmark regexp (go test -bench)")
-	benchtime := flag.String("benchtime", "1x", "per-benchmark time or count (go test -benchtime)")
-	count := flag.Int("count", 1, "repetitions (go test -count)")
-	in := flag.String("in", "", "parse existing bench output from this file instead of running (- for stdin)")
-	out := flag.String("out", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
-	flag.Parse()
+// benchCommand builds the `go test` invocation; a variable so tests
+// can substitute a fake benchmark process.
+var benchCommand = func(args []string) *exec.Cmd { return exec.Command("go", args...) }
+
+// run executes the record mode. When the benchmark run itself fails
+// (a failing test in the package, a crashed benchmark), the output
+// produced before the failure is still parsed and written as a report
+// — a long CI bench run should never evaporate because its last
+// package broke — and the failure is then reported with a non-zero
+// exit.
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	pkg := fs.String("pkg", "./...", "package pattern to benchmark")
+	bench := fs.String("bench", ".", "benchmark regexp (go test -bench)")
+	benchtime := fs.String("benchtime", "1x", "per-benchmark time or count (go test -benchtime)")
+	count := fs.Int("count", 1, "repetitions (go test -count)")
+	in := fs.String("in", "", "parse existing bench output from this file instead of running (- for stdin)")
+	out := fs.String("out", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
 
 	rep := Report{
 		Date:      time.Now().UTC().Format(time.RFC3339),
@@ -237,40 +252,45 @@ func run() error {
 	}
 
 	var raw io.Reader
+	var runErr error
 	if *in != "" {
 		if *in == "-" {
 			raw = os.Stdin
 		} else {
 			f, err := os.Open(*in)
 			if err != nil {
-				return err
+				return 1, err
 			}
 			defer f.Close()
 			raw = f
 		}
 	} else {
-		args := []string{"test", *pkg, "-run", "^$",
+		goArgs := []string{"test", *pkg, "-run", "^$",
 			"-bench", *bench, "-benchtime", *benchtime, "-benchmem",
 			"-count", strconv.Itoa(*count)}
-		rep.Command = "go " + strings.Join(args, " ")
-		fmt.Fprintln(os.Stderr, "benchjson:", rep.Command)
-		cmd := exec.Command("go", args...)
-		cmd.Stderr = os.Stderr
+		rep.Command = "go " + strings.Join(goArgs, " ")
+		fmt.Fprintln(stderr, "benchjson:", rep.Command)
+		cmd := benchCommand(goArgs)
+		cmd.Stderr = stderr
 		outBytes, err := cmd.Output()
 		if err != nil {
-			return fmt.Errorf("go test: %w", err)
+			runErr = fmt.Errorf("go test: %w", err)
+			fmt.Fprintln(stderr, "benchjson:", runErr, "— salvaging completed benchmarks")
 		}
 		// Echo the raw output so CI logs keep the human-readable view.
-		os.Stdout.Write(outBytes)
-		raw = strings.NewReader(string(outBytes))
+		stdout.Write(outBytes)
+		raw = bytes.NewReader(outBytes)
 	}
 
 	benches, err := parseBench(raw)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	if len(benches) == 0 {
-		return fmt.Errorf("no benchmark results found")
+		if runErr != nil {
+			return 1, runErr
+		}
+		return 1, fmt.Errorf("no benchmark results found")
 	}
 	rep.Benchmarks = benches
 
@@ -280,19 +300,22 @@ func run() error {
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		f.Close()
-		return err
+		return 1, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return 1, err
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(benches))
-	return nil
+	fmt.Fprintf(stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(benches))
+	if runErr != nil {
+		return 1, fmt.Errorf("report salvaged to %s, but the run failed: %w", path, runErr)
+	}
+	return 0, nil
 }
 
 func main() {
@@ -303,8 +326,12 @@ func main() {
 		}
 		os.Exit(code)
 	}
-	if err := run(); err != nil {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -164,6 +166,88 @@ func TestRunCompareExitCodes(t *testing.T) {
 	}
 	if code, _ := runCompare([]string{old, filepath.Join(dir, "absent.json")}, &out, &errOut); code != 1 {
 		t.Errorf("absent file: code=%d, want 1", code)
+	}
+}
+
+// TestHelperBench is not a real test: re-executed as a fake `go test`
+// process (see fakeBench), it prints one completed benchmark line and
+// then fails like a broken package would.
+func TestHelperBench(t *testing.T) {
+	if os.Getenv("BENCHJSON_HELPER") == "" {
+		return
+	}
+	fmt.Println("BenchmarkSalvaged-8   \t 100 \t 123 ns/op \t 0 B/op \t 0 allocs/op")
+	if os.Getenv("BENCHJSON_HELPER") == "fail" {
+		fmt.Println("--- FAIL: TestBrokenElsewhere")
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+	os.Exit(0)
+}
+
+// fakeBench points benchCommand at the helper above for one test.
+func fakeBench(t *testing.T, mode string) {
+	t.Helper()
+	prev := benchCommand
+	benchCommand = func(args []string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperBench$")
+		cmd.Env = append(os.Environ(), "BENCHJSON_HELPER="+mode)
+		return cmd
+	}
+	t.Cleanup(func() { benchCommand = prev })
+}
+
+// TestRunSalvagesReportOnFailure: when go test exits non-zero after
+// producing benchmark lines, the report is still written — and the
+// failure still surfaces as a non-zero exit.
+func TestRunSalvagesReportOnFailure(t *testing.T) {
+	fakeBench(t, "fail")
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut bytes.Buffer
+	code, err := run([]string{"-out", outPath}, &out, &errOut)
+	if code == 0 || err == nil {
+		t.Fatalf("failing bench run reported success: code=%d err=%v", code, err)
+	}
+	rep, rerr := readReport(outPath)
+	if rerr != nil {
+		t.Fatalf("salvaged report unreadable: %v (stderr: %s)", rerr, errOut.String())
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkSalvaged-8" {
+		t.Errorf("salvaged benchmarks = %+v, want the one completed line", rep.Benchmarks)
+	}
+	if !strings.Contains(errOut.String(), "salvaging") {
+		t.Errorf("stderr does not announce the salvage:\n%s", errOut.String())
+	}
+}
+
+// TestRunHealthyWritesReport: the happy path through the same seam.
+func TestRunHealthyWritesReport(t *testing.T) {
+	fakeBench(t, "ok")
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut bytes.Buffer
+	code, err := run([]string{"-out", outPath}, &out, &errOut)
+	if code != 0 || err != nil {
+		t.Fatalf("run: code=%d err=%v (stderr: %s)", code, err, errOut.String())
+	}
+	rep, err := readReport(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Errorf("report has %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+}
+
+// TestRunFailureWithoutOutputKeepsError: nothing to salvage — the go
+// test error must come through instead of "no benchmark results".
+func TestRunFailureWithoutOutputKeepsError(t *testing.T) {
+	prev := benchCommand
+	benchCommand = func(args []string) *exec.Cmd { return exec.Command("false") }
+	t.Cleanup(func() { benchCommand = prev })
+	var out, errOut bytes.Buffer
+	code, err := run([]string{"-out", filepath.Join(t.TempDir(), "b.json")}, &out, &errOut)
+	if code != 1 || err == nil || !strings.Contains(err.Error(), "go test") {
+		t.Fatalf("code=%d err=%v, want the go test failure", code, err)
 	}
 }
 

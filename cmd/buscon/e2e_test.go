@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -30,7 +31,7 @@ func writeFig1(t *testing.T) string {
 
 func TestRunPaperExample(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code, err := run([]string{"-in", writeFig1(t), "-arbiter", "fp", "-persistence"}, &out, &errOut)
+	code, err := run(context.Background(), []string{"-in", writeFig1(t), "-arbiter", "fp", "-persistence"}, &out, &errOut)
 	if err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
 	}
@@ -51,7 +52,7 @@ func TestRunTraceEmitsValidChromeTrace(t *testing.T) {
 	var out, errOut bytes.Buffer
 	// -compare runs both persistence settings: two analyzer runs in the
 	// trace, both schedulable on the paper example.
-	code, err := run([]string{
+	code, err := run(context.Background(), []string{
 		"-in", writeFig1(t), "-arbiter", "fp", "-persistence", "-compare",
 		"-trace", trace, "-metrics", "-convergence",
 	}, &out, &errOut)
@@ -134,7 +135,7 @@ func TestRunTraceReconcilesOnDeadlineMiss(t *testing.T) {
 
 	trace := filepath.Join(t.TempDir(), "trace.json")
 	var out, errOut bytes.Buffer
-	code, err := run([]string{"-in", path, "-arbiter", "fp", "-trace", trace}, &out, &errOut)
+	code, err := run(context.Background(), []string{"-in", path, "-arbiter", "fp", "-trace", trace}, &out, &errOut)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -163,4 +164,20 @@ func TestRunTraceReconcilesOnDeadlineMiss(t *testing.T) {
 		}
 	}
 	t.Fatal("no telemetry snapshot in trace")
+}
+
+// TestRunInterruptedExits130: a canceled context makes run stop before
+// the analysis and report the interrupt as exit code 130, with the
+// telemetry session still flushed (no error from the deferred close).
+func TestRunInterruptedExits130(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut bytes.Buffer
+	code, err := run(ctx, []string{"-in", writeFig1(t), "-arbiter", "fp"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 130 {
+		t.Fatalf("exit code = %d, want 130", code)
+	}
 }

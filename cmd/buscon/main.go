@@ -11,13 +11,18 @@
 // analyzer counters, -trace FILE writes a Chrome trace-event JSON
 // viewable at ui.perfetto.dev, -convergence prints per-task iterate
 // chains, -v enables debug logging.
+//
+// Ctrl-C interrupts the analysis between steps; the process exits
+// with code 130 (profiles and traces are still flushed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"text/tabwriter"
 
@@ -76,10 +81,10 @@ func parseCPRO(s string) (persistence.CPROApproach, error) {
 }
 
 // run executes the whole command against explicit streams and returns
-// the process exit code (0 ok, 2 not schedulable), so tests can drive
-// it end to end. Deferred cleanup — the telemetry session flush in
-// particular — runs before the caller exits.
-func run(args []string, stdout, stderr io.Writer) (int, error) {
+// the process exit code (0 ok, 2 not schedulable, 130 interrupted), so
+// tests can drive it end to end. Deferred cleanup — the telemetry
+// session flush in particular — runs before the caller exits.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("buscon", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "task set JSON file (required; - for stdin)")
@@ -147,6 +152,14 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		return 1, err
 	}
 
+	// A single analysis is fast, but -compare and -explain multiply the
+	// work; honour Ctrl-C between the steps (telemetry still flushes
+	// through the deferred session close).
+	canceled := func() bool { return ctx != nil && ctx.Err() != nil }
+	if canceled() {
+		return 130, nil
+	}
+
 	obs := sess.Observer()
 	cfg := core.Config{Arbiter: arb, Persistence: *persist, CRPD: crpdAp, CPRO: cproAp}
 	res, err := core.AnalyzeOpts(ts, cfg, core.Options{Observer: obs})
@@ -156,6 +169,9 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 
 	var other *core.Result
 	if *compare {
+		if canceled() {
+			return 130, nil
+		}
 		otherCfg := cfg
 		otherCfg.Persistence = !cfg.Persistence
 		if other, err = core.AnalyzeOpts(ts, otherCfg, core.Options{Observer: obs}); err != nil {
@@ -212,6 +228,9 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "with persistence=%v: schedulable=%v\n", !cfg.Persistence, other.Schedulable)
 	}
 	if *explain >= 0 {
+		if canceled() {
+			return 130, nil
+		}
 		ex, err := core.Explain(ts, cfg, *explain)
 		if err != nil {
 			return 1, err
@@ -228,7 +247,9 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 }
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "buscon:", err)
 		if code == 0 {

@@ -61,3 +61,122 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Fatalf("code=%d err=%v, want an error with code 1", code, err)
 	}
 }
+
+// readFile is a tiny helper so equivalence checks read as one line.
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestRunShardResumeMergeEquivalence drives the full resilient
+// workflow through the CLI: a single-process reference run, two shard
+// runs (one interrupted mid-flight and resumed), and a merge of the
+// shard checkpoints — whose CSV must equal the reference byte for
+// byte.
+func TestRunShardResumeMergeEquivalence(t *testing.T) {
+	refDir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-tasksets", "3", "-outdir", refDir, "-progress=false"},
+		&out, &errOut); err != nil || code != 0 {
+		t.Fatalf("reference run: code=%d err=%v (stderr: %s)", code, err, errOut.String())
+	}
+	want := readFile(t, filepath.Join(refDir, "fig2a.csv"))
+
+	ckpt := t.TempDir()
+	// Shard 0: interrupt immediately — the canceled context leaves a
+	// valid (possibly empty) checkpoint behind.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out.Reset()
+	errOut.Reset()
+	if code, err := run(ctx,
+		[]string{"-exp", "fig2a", "-tasksets", "3", "-shard", "0/2", "-checkpoint", ckpt, "-progress=false"},
+		&out, &errOut); err != nil || code != 130 {
+		t.Fatalf("interrupted shard 0: code=%d err=%v (stderr: %s)", code, err, errOut.String())
+	}
+	shard0 := filepath.Join(ckpt, "fig2a.shard0of2.json")
+	if _, err := os.Stat(shard0); err != nil {
+		t.Fatalf("interrupted shard left no checkpoint: %v", err)
+	}
+
+	// Re-running shard 0 without -resume must refuse to clobber it.
+	out.Reset()
+	errOut.Reset()
+	if code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-tasksets", "3", "-shard", "0/2", "-checkpoint", ckpt, "-progress=false"},
+		&out, &errOut); err == nil || code != 1 {
+		t.Fatalf("clobbering an existing checkpoint: code=%d err=%v, want a refusal", code, err)
+	}
+
+	// Resume shard 0 to completion, and run shard 1 fresh.
+	for _, args := range [][]string{
+		{"-exp", "fig2a", "-tasksets", "3", "-shard", "0/2", "-checkpoint", ckpt, "-resume", "-progress=false"},
+		{"-exp", "fig2a", "-tasksets", "3", "-shard", "1/2", "-checkpoint", ckpt, "-progress=false"},
+	} {
+		out.Reset()
+		errOut.Reset()
+		if code, err := run(context.Background(), args, &out, &errOut); err != nil || code != 0 {
+			t.Fatalf("run %v: code=%d err=%v (stderr: %s)", args, code, err, errOut.String())
+		}
+	}
+
+	mergeDir := t.TempDir()
+	out.Reset()
+	errOut.Reset()
+	code, err := run(context.Background(),
+		[]string{"merge", "-outdir", mergeDir, shard0, filepath.Join(ckpt, "fig2a.shard1of2.json")},
+		&out, &errOut)
+	if err != nil || code != 0 {
+		t.Fatalf("merge: code=%d err=%v (stderr: %s)", code, err, errOut.String())
+	}
+	if got := readFile(t, filepath.Join(mergeDir, "fig2a.csv")); got != want {
+		t.Errorf("merged CSV differs from the single-process run:\n--- merged ---\n%s--- single ---\n%s", got, want)
+	}
+}
+
+// TestRunShardFlagValidation: -shard without -checkpoint and
+// unshardable studies under -shard are both flag errors.
+func TestRunShardFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-shard", "0/2"}, &out, &errOut); err == nil || code != 1 {
+		t.Errorf("-shard without -checkpoint: code=%d err=%v, want an error", code, err)
+	}
+	if code, err := run(context.Background(),
+		[]string{"-exp", "extcrpd", "-shard", "0/2", "-checkpoint", t.TempDir()},
+		&out, &errOut); err == nil || code != 1 {
+		t.Errorf("unshardable study under -shard: code=%d err=%v, want an error", code, err)
+	}
+	if code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-shard", "2/2", "-checkpoint", t.TempDir()},
+		&out, &errOut); err == nil || code != 1 {
+		t.Errorf("out-of-range shard: code=%d err=%v, want an error", code, err)
+	}
+}
+
+// TestRunMergeRejectsIncompleteSet: merging only one of two shards
+// must fail loudly rather than emit a half-study CSV.
+func TestRunMergeRejectsIncompleteSet(t *testing.T) {
+	ckpt := t.TempDir()
+	var out, errOut bytes.Buffer
+	if code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-tasksets", "2", "-shard", "0/2", "-checkpoint", ckpt, "-progress=false"},
+		&out, &errOut); err != nil || code != 0 {
+		t.Fatalf("shard run: code=%d err=%v", code, err)
+	}
+	out.Reset()
+	errOut.Reset()
+	code, err := run(context.Background(),
+		[]string{"merge", filepath.Join(ckpt, "fig2a.shard0of2.json")}, &out, &errOut)
+	if err == nil || code != 1 {
+		t.Fatalf("merge of an incomplete shard set: code=%d err=%v, want an error", code, err)
+	}
+	if !strings.Contains(err.Error(), "want 2") {
+		t.Errorf("error %q does not name the expected shard count", err)
+	}
+}

@@ -18,6 +18,23 @@
 // Telemetry: -metrics prints analyzer counters, -trace FILE writes a
 // Chrome trace-event JSON with per-worker span tracks (view at
 // ui.perfetto.dev), -v enables debug logging.
+//
+// Large sweeps survive interruption and spread across machines:
+//
+//	experiments -exp fig2a -checkpoint ckpt/            # resumable
+//	experiments -exp fig2a -checkpoint ckpt/ -resume    # continue it
+//	experiments -exp fig2a -shard 0/2 -checkpoint ckpt/ # 1st of 2 procs
+//	experiments -exp fig2a -shard 1/2 -checkpoint ckpt/ # 2nd of 2 procs
+//	experiments merge -outdir results/ ckpt/*.json      # combine shards
+//
+// -checkpoint DIR records every completed job (atomically, every few
+// jobs or seconds) in DIR/<study>[.shardIofN].json; -resume reloads
+// the file and skips recorded jobs. -shard i/n deterministically
+// partitions the job list so n processes produce disjoint results;
+// the merge mode combines their checkpoints into CSVs byte-identical
+// to a single-process run (see DESIGN.md §10). A panicking job is
+// retried on the naive reference analyzer and, failing that, recorded
+// as a failed data point instead of killing the run.
 package main
 
 import (
@@ -33,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/taskgen"
@@ -77,9 +95,47 @@ func (p *progressPrinter) clear() {
 	}
 }
 
+// studyFn names one runnable study. Shardable studies go through the
+// parallel sweep engine and support -shard/-checkpoint/-resume; the
+// serial extension studies do not.
+type studyFn struct {
+	name      string
+	shardable bool
+	run       func(experiments.Options) (*experiments.Study, error)
+}
+
+// studies is the registry shared by the regular run and the merge
+// mode (which looks studies up by the name recorded in checkpoint
+// headers).
+var studies = []studyFn{
+	{"fig2a", true, func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.FP, o) }},
+	{"fig2b", true, func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.RR, o) }},
+	{"fig2c", true, func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.TDMA, o) }},
+	{"fig3a", true, experiments.Fig3a},
+	{"fig3b", true, experiments.Fig3b},
+	{"fig3c", true, experiments.Fig3c},
+	{"fig3d", true, experiments.Fig3d},
+	{"extcrpd", false, experiments.ExtCRPD},
+	{"extpartition", false, experiments.ExtPartition},
+	{"extopa", false, experiments.ExtOPA},
+	{"extgen", false, experiments.ExtGen},
+}
+
+func studyByName(name string) (studyFn, bool) {
+	for _, s := range studies {
+		if s.name == name {
+			return s, true
+		}
+	}
+	return studyFn{}, false
+}
+
 // run executes the command against explicit streams. Exit codes: 0 ok,
 // 1 error, 130 interrupted (partial results were still flushed).
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
+	if len(args) > 0 && args[0] == "merge" {
+		return runMerge(ctx, args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig3a, fig3b, fig3c, fig3d, extassoc, exthier, extcrpd, extpartition, extopa, extgen, or all")
@@ -87,6 +143,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	seed := fs.Int64("seed", 2020, "base RNG seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	outdir := fs.String("outdir", "", "directory for CSV output (optional)")
+	shardS := fs.String("shard", "", "run only shard i of n sweep jobs, e.g. 0/4 (requires -checkpoint)")
+	ckptDir := fs.String("checkpoint", "", "directory for per-study checkpoint files (enables resumable sweeps)")
+	resume := fs.Bool("resume", false, "reload existing checkpoints and skip completed jobs")
+	ckptEvery := fs.Int("checkpoint-every", 64, "flush the checkpoint every K completed jobs")
+	ckptInterval := fs.Duration("checkpoint-interval", 5*time.Second, "flush the checkpoint at least this often")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file (view at ui.perfetto.dev)")
@@ -95,6 +156,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	verbose := fs.Bool("v", false, "enable debug logging")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
+	}
+
+	var shard checkpoint.Shard
+	if *shardS != "" {
+		var err error
+		if shard, err = checkpoint.ParseShard(*shardS); err != nil {
+			return 1, err
+		}
+		if *ckptDir == "" {
+			return 1, fmt.Errorf("-shard requires -checkpoint: shard results only become a full study through their checkpoint files (experiments merge)")
+		}
+	}
+	if *resume && *ckptDir == "" {
+		return 1, fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return 1, err
+		}
 	}
 
 	sess, err := telemetry.StartSession(telemetry.SessionOptions{
@@ -130,38 +210,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
 	ran := false
 	interrupted := false
+	// Sharding and checkpointing only make sense for the parallel
+	// sweep studies; under -exp all the others are skipped with a
+	// note, and asking for one explicitly is an error.
+	restricted := shard.Sharded() || *ckptDir != ""
+	skipUnshardable := func(name string) (skip bool, err error) {
+		if !restricted {
+			return false, nil
+		}
+		if *exp == "all" {
+			fmt.Fprintf(stderr, "experiments: skipping %s: -shard/-checkpoint only apply to the fig2*/fig3* sweeps\n", name)
+			return true, nil
+		}
+		return false, fmt.Errorf("%s does not support -shard/-checkpoint (only the fig2*/fig3* sweeps do)", name)
+	}
 
 	if want("table1") {
-		ran = true
-		rows, err := experiments.Table1(taskmodel.CacheConfig{NumSets: 256, BlockSizeBytes: 32})
-		if err != nil {
+		if skip, err := skipUnshardable("table1"); err != nil {
 			return 1, err
+		} else if !skip {
+			ran = true
+			rows, err := experiments.Table1(taskmodel.CacheConfig{NumSets: 256, BlockSizeBytes: 32})
+			if err != nil {
+				return 1, err
+			}
+			fmt.Fprintln(stdout, "Table I — benchmark parameters (regenerated by internal/staticwcet at 256 sets x 32 B)")
+			fmt.Fprintln(stdout)
+			if err := experiments.RenderTable1(stdout, rows); err != nil {
+				return 1, err
+			}
+			fmt.Fprintln(stdout)
 		}
-		fmt.Fprintln(stdout, "Table I — benchmark parameters (regenerated by internal/staticwcet at 256 sets x 32 B)")
-		fmt.Fprintln(stdout)
-		if err := experiments.RenderTable1(stdout, rows); err != nil {
-			return 1, err
-		}
-		fmt.Fprintln(stdout)
 	}
 
-	type studyFn struct {
-		name string
-		run  func(experiments.Options) (*experiments.Study, error)
-	}
-	studies := []studyFn{
-		{"fig2a", func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.FP, o) }},
-		{"fig2b", func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.RR, o) }},
-		{"fig2c", func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.TDMA, o) }},
-		{"fig3a", experiments.Fig3a},
-		{"fig3b", experiments.Fig3b},
-		{"fig3c", experiments.Fig3c},
-		{"fig3d", experiments.Fig3d},
-		{"extcrpd", experiments.ExtCRPD},
-		{"extpartition", experiments.ExtPartition},
-		{"extopa", experiments.ExtOPA},
-		{"extgen", experiments.ExtGen},
-	}
 	for _, s := range studies {
 		if !want(s.name) {
 			continue
@@ -170,23 +251,56 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 			// A previous study was cut short; skip the rest outright.
 			break
 		}
+		if !s.shardable {
+			if skip, err := skipUnshardable(s.name); err != nil {
+				return 1, err
+			} else if skip {
+				continue
+			}
+		}
 		ran = true
 		start := time.Now()
 		runOpts := opts
-		if *progress {
-			p := &progressPrinter{w: stderr, study: s.name}
-			runOpts.Progress = p.update
-			defer p.clear()
-			st, err := s.run(runOpts)
-			p.clear()
-			code, rerr := emitStudy(st, err, s.name, *outdir, start, stdout)
-			if rerr != nil {
-				return code, rerr
+		runOpts.Shard = shard
+
+		var log *checkpoint.Log
+		if s.shardable && *ckptDir != "" {
+			hdr := checkpoint.Header{Study: s.name, Seed: *seed, TaskSets: *tasksets, Shard: shard}
+			path := checkpointPath(*ckptDir, s.name, shard)
+			var err error
+			if *resume {
+				log, err = checkpoint.Resume(path, hdr)
+			} else {
+				log, err = checkpoint.Create(path, hdr)
 			}
-			interrupted = interrupted || code == 130
-			continue
+			if err != nil {
+				return 1, err
+			}
+			log.Every, log.Interval = *ckptEvery, *ckptInterval
+			if n := log.Len(); n > 0 {
+				fmt.Fprintf(stderr, "experiments: %s: resuming past %d checkpointed jobs\n", s.name, n)
+			}
+			runOpts.Checkpoint = log
+		}
+		runOpts.OnJobFailure = func(key string, err error, stack []byte) {
+			fmt.Fprintf(stderr, "\nexperiments: %s: job %s failed permanently: %v\n", s.name, key, err)
+			if *verbose && len(stack) > 0 {
+				stderr.Write(stack)
+			}
+		}
+
+		var p *progressPrinter
+		if *progress {
+			p = &progressPrinter{w: stderr, study: s.name}
+			runOpts.Progress = p.update
 		}
 		st, err := s.run(runOpts)
+		if p != nil {
+			p.clear()
+		}
+		if cerr := log.Close(); cerr != nil {
+			return 1, cerr
+		}
 		code, rerr := emitStudy(st, err, s.name, *outdir, start, stdout)
 		if rerr != nil {
 			return code, rerr
@@ -195,31 +309,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	}
 
 	if want("extassoc") && !interrupted {
-		ran = true
-		pts, err := experiments.ExtAssociativity()
-		if err != nil {
+		if skip, err := skipUnshardable("extassoc"); err != nil {
 			return 1, err
+		} else if !skip {
+			ran = true
+			pts, err := experiments.ExtAssociativity()
+			if err != nil {
+				return 1, err
+			}
+			fmt.Fprintln(stdout, "Extension — suite-wide demand and persistence vs cache organisation (256 lines)")
+			fmt.Fprintln(stdout)
+			if err := experiments.RenderAssoc(stdout, pts); err != nil {
+				return 1, err
+			}
+			fmt.Fprintln(stdout)
 		}
-		fmt.Fprintln(stdout, "Extension — suite-wide demand and persistence vs cache organisation (256 lines)")
-		fmt.Fprintln(stdout)
-		if err := experiments.RenderAssoc(stdout, pts); err != nil {
-			return 1, err
-		}
-		fmt.Fprintln(stdout)
 	}
 
 	if want("exthier") && !interrupted {
-		ran = true
-		pts, err := experiments.ExtHierarchy()
-		if err != nil {
+		if skip, err := skipUnshardable("exthier"); err != nil {
 			return 1, err
+		} else if !skip {
+			ran = true
+			pts, err := experiments.ExtHierarchy()
+			if err != nil {
+				return 1, err
+			}
+			fmt.Fprintln(stdout, "Extension — bus demand absorbed by a private L2 (L1 fixed at 256x1)")
+			fmt.Fprintln(stdout)
+			if err := experiments.RenderHierarchy(stdout, pts); err != nil {
+				return 1, err
+			}
+			fmt.Fprintln(stdout)
 		}
-		fmt.Fprintln(stdout, "Extension — bus demand absorbed by a private L2 (L1 fixed at 256x1)")
-		fmt.Fprintln(stdout)
-		if err := experiments.RenderHierarchy(stdout, pts); err != nil {
-			return 1, err
-		}
-		fmt.Fprintln(stdout)
 	}
 
 	if !ran {
@@ -228,6 +350,78 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	if interrupted {
 		fmt.Fprintln(stdout, "interrupted: results above are partial (remaining studies skipped)")
 		return 130, nil
+	}
+	return 0, nil
+}
+
+// checkpointPath names the checkpoint file for one study and shard:
+// DIR/<study>.json, or DIR/<study>.shardIofN.json when sharded, so
+// the shards of one study never collide in a shared directory.
+func checkpointPath(dir, study string, shard checkpoint.Shard) string {
+	name := study + ".json"
+	if shard.Sharded() {
+		name = fmt.Sprintf("%s.shard%dof%d.json", study, shard.Index, shard.Count)
+	}
+	return filepath.Join(dir, name)
+}
+
+// runMerge implements the merge mode: it loads the given checkpoint
+// files, groups them by study, verifies that each group is a complete
+// disjoint shard partition, and replays each study entirely from the
+// recorded jobs. Because replay walks the same canonical job order and
+// fold as a live sweep, the emitted charts and CSVs are byte-identical
+// to a single-process run's.
+func runMerge(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("experiments merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	outdir := fs.String("outdir", "", "directory for CSV output (optional)")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if fs.NArg() == 0 {
+		return 1, fmt.Errorf("merge: no checkpoint files given (usage: experiments merge [-outdir DIR] ckpt/*.json)")
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return 1, err
+		}
+	}
+
+	byStudy := make(map[string][]*checkpoint.Log)
+	var order []string
+	for _, path := range fs.Args() {
+		log, err := checkpoint.Open(path)
+		if err != nil {
+			return 1, err
+		}
+		study := log.Header().Study
+		if _, ok := studyByName(study); !ok {
+			return 1, fmt.Errorf("merge: %s records unknown study %q", path, study)
+		}
+		if len(byStudy[study]) == 0 {
+			order = append(order, study)
+		}
+		byStudy[study] = append(byStudy[study], log)
+	}
+
+	for _, name := range order {
+		merged, err := checkpoint.Merge(byStudy[name])
+		if err != nil {
+			return 1, err
+		}
+		s, _ := studyByName(name)
+		hdr := merged.Header()
+		start := time.Now()
+		st, err := s.run(experiments.Options{
+			TaskSetsPerPoint: hdr.TaskSets,
+			Seed:             hdr.Seed,
+			Base:             taskgen.DefaultConfig(),
+			Checkpoint:       merged,
+			Context:          ctx,
+		})
+		if code, rerr := emitStudy(st, err, name, *outdir, start, stdout); rerr != nil || code != 0 {
+			return code, rerr
+		}
 	}
 	return 0, nil
 }

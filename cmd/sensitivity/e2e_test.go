@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,7 +12,8 @@ import (
 	"repro/internal/fixtures"
 )
 
-func TestRunSensitivityWithTelemetry(t *testing.T) {
+func writeFig1(t *testing.T) string {
+	t.Helper()
 	path := filepath.Join(t.TempDir(), "fig1.json")
 	f, err := os.Create(path)
 	if err != nil {
@@ -20,12 +22,18 @@ func TestRunSensitivityWithTelemetry(t *testing.T) {
 	if err := fixtures.Fig1TaskSet().WriteJSON(f); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
 
+func TestRunSensitivityWithTelemetry(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "trace.json")
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-in", path, "-trace", trace, "-metrics"}, &out, &errOut); err != nil {
-		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	code, err := run(context.Background(), []string{"-in", writeFig1(t), "-trace", trace, "-metrics"}, &out, &errOut)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v (stderr: %s)", code, err, errOut.String())
 	}
 	for _, want := range []string{"FP-CP", "RR-CP", "critical scaling"} {
 		if !strings.Contains(out.String(), want) {
@@ -41,5 +49,27 @@ func TestRunSensitivityWithTelemetry(t *testing.T) {
 	}
 	if !json.Valid(data) {
 		t.Error("trace is not valid JSON")
+	}
+}
+
+// TestRunInterruptedExits130: a canceled context stops the search
+// between rows, still prints the (possibly empty) table, and reports
+// the interrupt as exit code 130.
+func TestRunInterruptedExits130(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut bytes.Buffer
+	code, err := run(ctx, []string{"-in", writeFig1(t)}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 130 {
+		t.Fatalf("exit code = %d, want 130", code)
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Errorf("output does not flag the interruption:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "analysis\t") && !strings.Contains(out.String(), "analysis ") {
+		t.Errorf("interrupted run lost the table header:\n%s", out.String())
 	}
 }

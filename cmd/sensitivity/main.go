@@ -14,13 +14,18 @@
 // search (the binary searches run many analyses), -trace FILE writes
 // a Chrome trace-event JSON viewable at ui.perfetto.dev, -v enables
 // debug logging.
+//
+// Ctrl-C interrupts the search gracefully: the rows computed so far
+// are still printed and the process exits with code 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
 	"repro/internal/core"
@@ -29,8 +34,9 @@ import (
 )
 
 // run executes the command against explicit streams so tests can
-// drive it end to end.
-func run(args []string, stdout, stderr io.Writer) error {
+// drive it end to end. Exit codes: 0 ok, 1 error, 130 interrupted
+// (rows computed before the interrupt are still printed).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("sensitivity", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "task set JSON file (required; - for stdin)")
@@ -40,11 +46,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	metrics := fs.Bool("metrics", false, "print analyzer counters and histograms on exit")
 	verbose := fs.Bool("v", false, "enable debug logging")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return 1, err
 	}
 	if *in == "" {
 		fs.Usage()
-		return fmt.Errorf("missing -in")
+		return 1, fmt.Errorf("missing -in")
 	}
 
 	sess, err := telemetry.StartSession(telemetry.SessionOptions{
@@ -53,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Verbose: *verbose, Out: stderr,
 	})
 	if err != nil {
-		return err
+		return 1, err
 	}
 	defer func() {
 		if cerr := sess.Close(); cerr != nil {
@@ -67,13 +73,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var err error
 		f, err = os.Open(*in)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		defer f.Close()
 	}
 	ts, err := taskmodel.ReadJSON(f)
 	if err != nil {
-		return err
+		return 1, err
 	}
 
 	fmt.Fprintf(stdout, "platform: %d cores, %d sets, d_mem=%d; %d tasks, bus utilization %.3f\n\n",
@@ -82,8 +88,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "analysis\tschedulable\tmax d_mem\tcritical scaling")
+	interrupted := false
+rows:
 	for _, arb := range []core.Arbiter{core.FP, core.RR, core.TDMA} {
 		for _, persistence := range []bool{false, true} {
+			// Each row runs three searches (tens to hundreds of analyzer
+			// runs); stop between rows when interrupted so the table built
+			// so far is still printed.
+			if ctx != nil && ctx.Err() != nil {
+				interrupted = true
+				break rows
+			}
 			cfg := core.Config{Arbiter: arb, Persistence: persistence}
 			name := arb.String()
 			if persistence {
@@ -91,11 +106,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			res, err := core.AnalyzeOpts(ts, cfg, copts)
 			if err != nil {
-				return err
+				return 1, err
 			}
 			maxD, err := core.MaxDMemOpts(ts, cfg, taskmodel.Time(*limit), copts)
 			if err != nil {
-				return err
+				return 1, err
 			}
 			scaling := "-"
 			if k, err := core.CriticalScalingOpts(ts, cfg, *tol, copts); err == nil {
@@ -105,17 +120,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if err := tw.Flush(); err != nil {
-		return err
+		return 1, err
+	}
+	if interrupted {
+		fmt.Fprintln(stdout, "\ninterrupted: rows above are partial")
+		return 130, nil
 	}
 	fmt.Fprintln(stdout, "\nmax d_mem: largest memory latency the analysis still proves schedulable")
 	fmt.Fprintln(stdout, "critical scaling: smallest factor on all periods/deadlines that is schedulable")
 	fmt.Fprintln(stdout, "(< 1 means headroom; persistence-aware rows should never show less margin)")
-	return nil
+	return 0, nil
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sensitivity:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }

@@ -1,0 +1,368 @@
+// Package checkpoint is the bookkeeping layer of the resilient sweep
+// runtime: deterministic sharding of a sweep's job list across
+// independent processes, and durable per-job result records that let
+// an interrupted sweep resume without repeating finished work.
+//
+// The design leans on one property of the sweeps in
+// internal/experiments: every job (point × utilization × sample) is
+// self-contained — its RNG seed is derived from (base seed, sample,
+// utilization) alone, so a job's outcome does not depend on which
+// process runs it or in which order. Sharding and resumption are
+// therefore pure bookkeeping: a job either has a recorded outcome or
+// it is recomputed, and folding recorded outcomes in the sweep's
+// canonical job order reproduces the uninterrupted result bit for bit
+// (see DESIGN.md §10 for the full argument).
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Version is the checkpoint schema version; files with a different
+// version are rejected on load.
+const Version = 1
+
+// Shard selects a deterministic subset of job keys: shard i of n owns
+// the keys whose stable hash is congruent to i modulo n. The zero
+// value (Count 0) owns every key, as does 0/1.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// ParseShard parses the -shard flag syntax "i/n" with 0 <= i < n.
+func ParseShard(s string) (Shard, error) {
+	var sh Shard
+	if _, err := fmt.Sscanf(s, "%d/%d", &sh.Index, &sh.Count); err != nil {
+		return Shard{}, fmt.Errorf("checkpoint: bad shard %q (want i/n, e.g. 0/4)", s)
+	}
+	if sh.Count < 1 || sh.Index < 0 || sh.Index >= sh.Count {
+		return Shard{}, fmt.Errorf("checkpoint: bad shard %q (want 0 <= i < n)", s)
+	}
+	return sh, nil
+}
+
+// Sharded reports whether the shard restricts the job list at all.
+func (s Shard) Sharded() bool { return s.Count > 1 }
+
+func (s Shard) String() string {
+	if s.Count == 0 {
+		return "0/1"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// Owns reports whether this shard is responsible for the job key. The
+// partition is a stable FNV-1a hash of the key modulo the shard
+// count, so it is identical across processes, platforms and runs, and
+// keys are distributed evenly regardless of the key grid's structure.
+func (s Shard) Owns(key string) bool {
+	if s.Count <= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64()%uint64(s.Count)) == s.Index
+}
+
+// Record is the durable outcome of one sweep job.
+type Record struct {
+	// Key is the job's stable identity within its study.
+	Key string `json:"key"`
+	// Util is the generated task set's actual average per-core
+	// utilization — the x-weight the study fold consumes.
+	Util float64 `json:"util"`
+	// Verdicts maps variant name to its schedulability verdict.
+	Verdicts map[string]bool `json:"verdicts,omitempty"`
+	// Failed marks a job that panicked past the reference-analyzer
+	// retry (or whose generation panicked); Err keeps the cause. Failed
+	// jobs contribute no sample to the study fold.
+	Failed bool   `json:"failed,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// Header identifies the run a checkpoint file belongs to. Resume and
+// Merge refuse files whose header does not match, so results from
+// different studies, seeds or sample sizes cannot be silently mixed.
+type Header struct {
+	Version  int    `json:"version"`
+	Study    string `json:"study"`
+	Seed     int64  `json:"seed"`
+	TaskSets int    `json:"task_sets"`
+	Shard    Shard  `json:"shard"`
+}
+
+// compatible reports whether two headers describe the same logical
+// run (ignoring the shard, which Merge validates separately).
+func (h Header) compatible(o Header) bool {
+	return h.Study == o.Study && h.Seed == o.Seed && h.TaskSets == o.TaskSets
+}
+
+// file is the on-disk JSON document.
+type file struct {
+	Header  Header   `json:"header"`
+	Records []Record `json:"records"`
+}
+
+// Log is a durable map from job key to Record. Adds accumulate in
+// memory and are persisted by rewriting the whole file to a temporary
+// sibling and renaming it over the target — the file on disk is
+// always a complete, valid snapshot, never a torn write. A flush is
+// triggered every Every records or Interval of wall time, whichever
+// comes first, and always by Close.
+//
+// All methods are safe for concurrent use (sweep workers record from
+// multiple goroutines) and safe on a nil receiver, which behaves as
+// an always-empty, never-persisting log.
+type Log struct {
+	mu      sync.Mutex
+	header  Header
+	records map[string]Record
+	path    string // empty: in-memory only (Merge results)
+	dirty   int    // records added since the last flush
+	last    time.Time
+	now     func() time.Time // test seam
+
+	// Every and Interval set the flush policy; zero values fall back
+	// to 64 records / 5 seconds.
+	Every    int
+	Interval time.Duration
+}
+
+func newLog(path string, h Header) *Log {
+	h.Version = Version
+	return &Log{
+		header:  h,
+		records: make(map[string]Record),
+		path:    path,
+		now:     time.Now,
+	}
+}
+
+// Create starts a fresh checkpoint at path. It fails if the file
+// already exists: overwriting a previous run's records silently is
+// exactly the data loss this package exists to prevent — pass resume
+// semantics through Resume, or remove the file deliberately.
+func Create(path string, h Header) (*Log, error) {
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("checkpoint: %s exists (use -resume to continue it, or remove it)", path)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	l := newLog(path, h)
+	l.last = l.now()
+	// Persist the header immediately so an early crash still leaves a
+	// resumable file.
+	if err := l.Flush(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Resume continues a checkpoint: an existing file is loaded and its
+// header verified against h; a missing file starts fresh. The
+// returned log already contains the previously recorded jobs.
+func Resume(path string, h Header) (*Log, error) {
+	prev, err := Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Create(path, h)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !prev.header.compatible(h) || prev.header.Shard != h.Shard {
+		return nil, fmt.Errorf("checkpoint: %s belongs to a different run (file: study=%s seed=%d tasksets=%d shard=%s; flags: study=%s seed=%d tasksets=%d shard=%s)",
+			path, prev.header.Study, prev.header.Seed, prev.header.TaskSets, prev.header.Shard,
+			h.Study, h.Seed, h.TaskSets, h.Shard)
+	}
+	prev.last = prev.now()
+	return prev, nil
+}
+
+// Open loads an existing checkpoint file for reading or resumption.
+func Open(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if f.Header.Version != Version {
+		return nil, fmt.Errorf("checkpoint: %s: schema version %d, want %d", path, f.Header.Version, Version)
+	}
+	l := newLog(path, f.Header)
+	for _, r := range f.Records {
+		l.records[r.Key] = r
+	}
+	return l, nil
+}
+
+// Header returns the log's identity.
+func (l *Log) Header() Header {
+	if l == nil {
+		return Header{}
+	}
+	return l.header
+}
+
+// Len returns the number of recorded jobs.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Lookup returns the record for key, if one exists.
+func (l *Log) Lookup(key string) (Record, bool) {
+	if l == nil {
+		return Record{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.records[key]
+	return r, ok
+}
+
+// Add records one completed job and flushes if the every-K/every-T
+// policy says so. Re-adding a key overwrites the previous record.
+func (l *Log) Add(rec Record) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	l.records[rec.Key] = rec
+	l.dirty++
+	every, interval := l.Every, l.Interval
+	if every <= 0 {
+		every = 64
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	due := l.dirty >= every || l.now().Sub(l.last) >= interval
+	l.mu.Unlock()
+	if due {
+		return l.Flush()
+	}
+	return nil
+}
+
+// Flush atomically persists the current state: the whole document is
+// written to path+".tmp" and renamed over path, so readers (and
+// crashes) only ever observe complete snapshots.
+func (l *Log) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Log) flushLocked() error {
+	if l.path == "" {
+		return nil
+	}
+	f := file{Header: l.header, Records: make([]Record, 0, len(l.records))}
+	for _, r := range l.records {
+		f.Records = append(f.Records, r)
+	}
+	// Sorted records make the file deterministic for a given state, so
+	// identical runs produce identical checkpoints.
+	sort.Slice(f.Records, func(i, j int) bool { return f.Records[i].Key < f.Records[j].Key })
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := l.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return err
+	}
+	l.dirty = 0
+	l.last = l.now()
+	return nil
+}
+
+// Close flushes and invalidates the log.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	return l.Flush()
+}
+
+// Merge combines the records of one study's shard checkpoints into a
+// single in-memory log equivalent to an unsharded run's. It verifies
+// that the inputs belong to the same run (study, seed, sample size),
+// agree on the shard count, and that together they cover every shard
+// index exactly once — so the merged log provably holds the union of
+// a complete partition, never a mix of incompatible runs.
+func Merge(logs []*Log) (*Log, error) {
+	if len(logs) == 0 {
+		return nil, errors.New("checkpoint: nothing to merge")
+	}
+	base := logs[0].header
+	count := base.Shard.Count
+	if count == 0 {
+		count = 1
+	}
+	if len(logs) != count {
+		return nil, fmt.Errorf("checkpoint: study %s has %d shard files, want %d (shard count %s)",
+			base.Study, len(logs), count, base.Shard)
+	}
+	seen := make(map[int]string, len(logs))
+	merged := newLog("", Header{Study: base.Study, Seed: base.Seed, TaskSets: base.TaskSets})
+	for _, l := range logs {
+		h := l.header
+		if !h.compatible(base) {
+			return nil, fmt.Errorf("checkpoint: cannot merge %s (study=%s seed=%d tasksets=%d) with %s (study=%s seed=%d tasksets=%d)",
+				pathOf(logs[0]), base.Study, base.Seed, base.TaskSets, pathOf(l), h.Study, h.Seed, h.TaskSets)
+		}
+		c := h.Shard.Count
+		if c == 0 {
+			c = 1
+		}
+		if c != count {
+			return nil, fmt.Errorf("checkpoint: shard counts differ: %s has %s, %s has %s",
+				pathOf(logs[0]), base.Shard, pathOf(l), h.Shard)
+		}
+		if prev, dup := seen[h.Shard.Index]; dup {
+			return nil, fmt.Errorf("checkpoint: shard %s appears twice (%s and %s)", h.Shard, prev, pathOf(l))
+		}
+		seen[h.Shard.Index] = pathOf(l)
+		l.mu.Lock()
+		for k, r := range l.records {
+			merged.records[k] = r
+		}
+		l.mu.Unlock()
+	}
+	for i := 0; i < count; i++ {
+		if _, ok := seen[i]; !ok {
+			return nil, fmt.Errorf("checkpoint: shard %d/%d missing from the merge set", i, count)
+		}
+	}
+	return merged, nil
+}
+
+func pathOf(l *Log) string {
+	if l.path == "" {
+		return "<memory>"
+	}
+	return filepath.Base(l.path)
+}

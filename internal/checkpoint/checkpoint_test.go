@@ -1,0 +1,277 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Shard
+		ok   bool
+	}{
+		{"0/1", Shard{0, 1}, true},
+		{"0/4", Shard{0, 4}, true},
+		{"3/4", Shard{3, 4}, true},
+		{"4/4", Shard{}, false},
+		{"-1/4", Shard{}, false},
+		{"1/0", Shard{}, false},
+		{"1", Shard{}, false},
+		{"a/b", Shard{}, false},
+		{"", Shard{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseShard(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseShard(%q): err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseShard(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestShardPartition: every key is owned by exactly one shard, the
+// partition is stable across calls, and the distribution is not
+// degenerate.
+func TestShardPartition(t *testing.T) {
+	const n = 4
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i] = Shard{Index: i, Count: n}
+	}
+	counts := make([]int, n)
+	for k := 0; k < 1000; k++ {
+		key := fmt.Sprintf("p%02d|u%016x|s%05d", k%7, uint64(k*37), k)
+		owners := 0
+		for i, s := range shards {
+			if s.Owns(key) {
+				owners++
+				counts[i]++
+				if !s.Owns(key) {
+					t.Fatalf("shard %v not stable on %q", s, key)
+				}
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("key %q owned by %d shards, want exactly 1", key, owners)
+		}
+	}
+	for i, c := range counts {
+		if c < 100 {
+			t.Errorf("shard %d owns only %d/1000 keys — degenerate partition: %v", i, c, counts)
+		}
+	}
+	// The zero shard and 0/1 own everything.
+	for _, s := range []Shard{{}, {0, 1}} {
+		if !s.Owns("anything") {
+			t.Errorf("shard %+v must own every key", s)
+		}
+	}
+}
+
+func TestCreateAddResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig2a.json")
+	h := Header{Study: "fig2a", Seed: 7, TaskSets: 5}
+	l, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create persists the header right away.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("header not persisted by Create: %v", err)
+	}
+	if _, err := Create(path, h); err == nil {
+		t.Fatal("Create over an existing checkpoint succeeded")
+	}
+
+	recs := []Record{
+		{Key: "a", Util: 0.5, Verdicts: map[string]bool{"FP": true, "FP-CP": true}},
+		{Key: "b", Util: 0.7, Verdicts: map[string]bool{"FP": false}},
+		{Key: "c", Failed: true, Err: "panic: boom"},
+	}
+	for _, r := range recs {
+		if err := l.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(recs) {
+		t.Fatalf("resumed %d records, want %d", got.Len(), len(recs))
+	}
+	for _, want := range recs {
+		r, ok := got.Lookup(want.Key)
+		if !ok {
+			t.Fatalf("record %q lost across resume", want.Key)
+		}
+		if r.Util != want.Util || r.Failed != want.Failed || r.Err != want.Err {
+			t.Errorf("record %q = %+v, want %+v", want.Key, r, want)
+		}
+		for k, v := range want.Verdicts {
+			if r.Verdicts[k] != v {
+				t.Errorf("record %q verdict %q = %v, want %v", want.Key, k, r.Verdicts[k], v)
+			}
+		}
+	}
+
+	// Resuming with a different identity must fail loudly.
+	for _, bad := range []Header{
+		{Study: "fig2b", Seed: 7, TaskSets: 5},
+		{Study: "fig2a", Seed: 8, TaskSets: 5},
+		{Study: "fig2a", Seed: 7, TaskSets: 6},
+		{Study: "fig2a", Seed: 7, TaskSets: 5, Shard: Shard{1, 2}},
+	} {
+		if _, err := Resume(path, bad); err == nil {
+			t.Errorf("Resume accepted mismatched header %+v", bad)
+		}
+	}
+
+	// Resume on a missing path starts fresh.
+	fresh, err := Resume(filepath.Join(t.TempDir(), "new.json"), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 0 {
+		t.Errorf("fresh resume has %d records", fresh.Len())
+	}
+}
+
+// TestFlushPolicy pins the every-K and every-T triggers.
+func TestFlushPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	l, err := Create(path, Header{Study: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Every = 3
+	l.Interval = time.Hour
+	onDisk := func() int {
+		got, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got.Len()
+	}
+	l.Add(Record{Key: "1"})
+	l.Add(Record{Key: "2"})
+	if n := onDisk(); n != 0 {
+		t.Fatalf("flushed after %d adds with Every=3 (disk has %d)", 2, n)
+	}
+	l.Add(Record{Key: "3"})
+	if n := onDisk(); n != 3 {
+		t.Fatalf("every-K flush missing: disk has %d records, want 3", n)
+	}
+
+	// Interval trigger: fake the clock past the deadline.
+	now := time.Now()
+	l.now = func() time.Time { return now.Add(time.Hour + time.Second) }
+	l.Add(Record{Key: "4"})
+	if n := onDisk(); n != 4 {
+		t.Fatalf("every-T flush missing: disk has %d records, want 4", n)
+	}
+}
+
+// TestFlushAtomicity: the persisted file is always a complete JSON
+// snapshot and flushing goes through a temporary sibling.
+func TestFlushAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.json")
+	l, err := Create(path, Header{Study: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Add(Record{Key: fmt.Sprintf("k%d", i)})
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path); err != nil {
+			t.Fatalf("file unreadable after flush %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("temporary file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestNilLogIsInert(t *testing.T) {
+	var l *Log
+	if err := l.Add(Record{Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Lookup("k"); ok {
+		t.Error("nil log returned a record")
+	}
+	if l.Len() != 0 || l.Flush() != nil || l.Close() != nil {
+		t.Error("nil log not inert")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(idx, count int, keys ...string) *Log {
+		l := newLog("", Header{Study: "fig2a", Seed: 1, TaskSets: 2, Shard: Shard{idx, count}})
+		for _, k := range keys {
+			l.records[k] = Record{Key: k}
+		}
+		return l
+	}
+	merged, err := Merge([]*Log{mk(1, 3, "b"), mk(0, 3, "a"), mk(2, 3, "c", "d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 4 {
+		t.Fatalf("merged %d records, want 4", merged.Len())
+	}
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if _, ok := merged.Lookup(k); !ok {
+			t.Errorf("key %q missing from merge", k)
+		}
+	}
+	if sh := merged.Header().Shard; sh.Sharded() {
+		t.Errorf("merged log still sharded: %v", sh)
+	}
+
+	cases := []struct {
+		name string
+		logs []*Log
+	}{
+		{"empty", nil},
+		{"missing shard", []*Log{mk(0, 3, "a"), mk(2, 3, "c")}},
+		{"duplicate shard", []*Log{mk(0, 3, "a"), mk(0, 3, "a"), mk(2, 3, "c")}},
+		{"count mismatch", []*Log{mk(0, 2, "a"), mk(1, 3, "b")}},
+	}
+	for _, c := range cases {
+		if _, err := Merge(c.logs); err == nil {
+			t.Errorf("Merge(%s) succeeded, want error", c.name)
+		}
+	}
+	// Identity mismatch.
+	other := newLog("", Header{Study: "fig2b", Seed: 1, TaskSets: 2, Shard: Shard{1, 2}})
+	if _, err := Merge([]*Log{mk(0, 2, "a"), other}); err == nil {
+		t.Error("Merge across studies succeeded")
+	}
+	// A single unsharded log merges to itself.
+	solo, err := Merge([]*Log{mk(0, 1, "x")})
+	if err != nil || solo.Len() != 1 {
+		t.Errorf("solo merge: err=%v len=%d", err, solo.Len())
+	}
+}

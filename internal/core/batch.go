@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/taskmodel"
@@ -38,6 +40,81 @@ type BatchOptions struct {
 	// label. Called from worker goroutines; must be safe for concurrent
 	// use.
 	OnResult func(i int, res []*Result, label string)
+	// Isolate converts per-request failures — panics as well as
+	// analysis errors — into recorded per-job failures instead of
+	// failing the whole batch. A panicking request is retried once on
+	// the naive reference analyzer (the optimized engine and the
+	// reference are independent code paths, so an engine bug degrades
+	// one data point, not the run); if the retry fails too, the
+	// request's result slot stays nil and OnFailure reports the cause.
+	// Panics are counted on sweep.job_panics, terminal failures on
+	// sweep.job_failures.
+	Isolate bool
+	// OnFailure, when non-nil with Isolate, receives each isolated
+	// request failure together with the stack of the original panic
+	// (nil for plain analysis errors). Called from worker goroutines;
+	// must be safe for concurrent use.
+	OnFailure func(i int, label string, err error, stack []byte)
+}
+
+// batchFaultHook, when non-nil, runs before every batch analysis
+// attempt: attempt 0 is the regular engine, attempt 1 the reference
+// retry after a panic. It exists solely so tests can inject panics
+// into the isolation path; production code never sets it.
+var batchFaultHook func(label string, attempt int)
+
+// SetBatchFaultHook installs (or, with nil, removes) the test-only
+// fault-injection hook. Not safe to call while a batch is running.
+func SetBatchFaultHook(f func(label string, attempt int)) { batchFaultHook = f }
+
+// panicError carries a recovered panic value and its stack as an
+// error.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// analyzeGuarded runs one attempt of a request under recover.
+func analyzeGuarded(req BatchRequest, label string, attempt int, obs *telemetry.Observer) (res []*Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	if hook := batchFaultHook; hook != nil {
+		hook(label, attempt)
+	}
+	if attempt == 0 {
+		return analyzeAllObs(req.TS, req.Cfgs, obs)
+	}
+	// Reference retry: the retained naive analyzer, config by config.
+	out := make([]*Result, len(req.Cfgs))
+	for i, cfg := range req.Cfgs {
+		r, err := AnalyzeReference(req.TS, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// analyzeIsolated is the Isolate path: recover panics, retry once on
+// the reference analyzer, and fold the outcome into (results, error).
+func analyzeIsolated(req BatchRequest, label string, obs *telemetry.Observer) ([]*Result, error) {
+	res, err := analyzeGuarded(req, label, 0, obs)
+	pe, panicked := err.(*panicError)
+	if !panicked {
+		return res, err
+	}
+	obs.Add(telemetry.CtrJobPanics, 1)
+	res, rerr := analyzeGuarded(req, label, 1, obs)
+	if rerr != nil {
+		return nil, fmt.Errorf("%s: %w; reference retry: %v", label, pe, rerr)
+	}
+	return res, nil
 }
 
 // AnalyzeBatch fans the requests across a worker pool and returns, per
@@ -91,7 +168,24 @@ func AnalyzeBatchOpts(reqs []BatchRequest, opts BatchOptions) ([][]*Result, erro
 				if obs.Tracing() {
 					sp = obs.Span(label, "batch")
 				}
-				out[i], errs[i] = analyzeAllObs(reqs[i].TS, reqs[i].Cfgs, obs)
+				if opts.Isolate {
+					out[i], errs[i] = analyzeIsolated(reqs[i], label, obs)
+					if errs[i] != nil {
+						obs.Add(telemetry.CtrJobFailures, 1)
+						if opts.OnFailure != nil {
+							var pe *panicError
+							var stack []byte
+							if errors.As(errs[i], &pe) {
+								stack = pe.stack
+							}
+							opts.OnFailure(i, label, errs[i], stack)
+						}
+						// Recorded per-job; the batch itself stays healthy.
+						errs[i] = nil
+					}
+				} else {
+					out[i], errs[i] = analyzeAllObs(reqs[i].TS, reqs[i].Cfgs, obs)
+				}
 				if obs.Tracing() {
 					sp.End()
 				}

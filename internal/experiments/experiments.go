@@ -22,10 +22,12 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/taskgen"
@@ -86,6 +88,26 @@ type Options struct {
 	// Progress, when non-nil, is called after every analyzed task set.
 	// Called from worker goroutines; must be safe for concurrent use.
 	Progress func(ProgressUpdate)
+	// Shard restricts the sweep to the jobs a deterministic hash of
+	// the job key assigns to this shard (see internal/checkpoint): n
+	// processes running the same study with shards 0/n..n-1/n analyze
+	// disjoint job sets whose checkpoint files merge into the exact
+	// single-process result. The zero value owns every job.
+	Shard checkpoint.Shard
+	// Checkpoint, when non-nil, makes the sweep resumable: jobs with a
+	// recorded outcome are neither regenerated nor reanalyzed — their
+	// recorded verdicts enter the fold directly — and every job this
+	// run completes (or fails) is recorded as it finishes. Because a
+	// job's seed depends only on (Seed, sample, utilization), a
+	// resumed sweep is bit-identical to an uninterrupted one.
+	Checkpoint *checkpoint.Log
+	// OnJobFailure, when non-nil, observes every isolated job failure:
+	// a job whose analysis panicked past the reference-analyzer retry
+	// (or whose generation panicked), recorded as a failed data point
+	// instead of aborting the sweep. stack is the original panic's
+	// stack, nil for plain errors. Called from worker goroutines; must
+	// be safe for concurrent use.
+	OnJobFailure func(key string, err error, stack []byte)
 }
 
 // ProgressUpdate is one live progress snapshot of a sweep.
@@ -221,13 +243,55 @@ type sample struct {
 	verdict  map[string]bool
 }
 
+// jobState classifies a sweep job against the checkpoint and shard.
+type jobState uint8
+
+const (
+	// jobPending jobs are generated and analyzed by this process.
+	jobPending jobState = iota
+	// jobRecorded jobs carry a checkpointed outcome; they enter the
+	// fold without any recomputation.
+	jobRecorded
+	// jobForeign jobs belong to another shard; they are skipped
+	// entirely and contribute no samples here.
+	jobForeign
+)
+
+// ckptSink serializes checkpoint writes from sweep workers and keeps
+// the first persistence error — a failing checkpoint must fail the
+// run loudly, or the operator believes work is durable when it isn't.
+type ckptSink struct {
+	log *checkpoint.Log
+	mu  sync.Mutex
+	err error
+}
+
+func (c *ckptSink) add(rec checkpoint.Record) {
+	if err := c.log.Add(rec); err != nil {
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *ckptSink) firstErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
 // sweep generates and analyses TaskSetsPerPoint task sets for every
 // (point, utilization) combination. configAt returns the generation
 // config and benchmark pool for a point index; utilsFor returns the
 // utilizations swept at that point.
 //
 // With a canceled context the partial per-point samples are returned
-// together with ErrInterrupted; callers fold them into a partial study.
+// together with ErrInterrupted; callers fold them into a partial
+// study. Jobs recorded in opts.Checkpoint are reused, jobs owned by
+// other shards are skipped, and a panicking job degrades into a
+// recorded per-job failure instead of killing the sweep.
 func sweep(opts Options, numPoints int,
 	configAt func(point int) (taskgen.Config, []taskgen.TaskParams, error),
 	utilsFor func(point int) []float64,
@@ -255,8 +319,39 @@ func sweep(opts Options, numPoints int,
 		}
 	}
 
-	// Phase 1: generate every job's task set. Generation is cheap next
-	// to analysis but still worth parallelising.
+	// Classify every job. The canonical job order (point, utilization,
+	// sample) is what makes resumption and merging reproducible: the
+	// fold below walks this order regardless of which process computed
+	// which job, so the folded samples — and every byte of the study
+	// derived from them — match an uninterrupted single-process run.
+	keys := make([]string, len(jobs))
+	states := make([]jobState, len(jobs))
+	records := make([]checkpoint.Record, len(jobs))
+	for ji, j := range jobs {
+		keys[ji] = jobKey(j.pointIdx, j.util, j.sample)
+		if rec, ok := opts.Checkpoint.Lookup(keys[ji]); ok {
+			states[ji], records[ji] = jobRecorded, rec
+		} else if !opts.Shard.Owns(keys[ji]) {
+			states[ji] = jobForeign
+		}
+	}
+	// fail records one isolated job failure; the sweep.job_failures
+	// counter is bumped by the caller (core's batch already counts
+	// analysis failures; generation panics are counted here).
+	sink := &ckptSink{log: opts.Checkpoint}
+	fail := func(ji int, err error, stack []byte) {
+		sink.add(checkpoint.Record{Key: keys[ji], Failed: true, Err: err.Error()})
+		if opts.OnJobFailure != nil {
+			opts.OnJobFailure(keys[ji], err, stack)
+		}
+	}
+
+	// Phase 1: generate the pending jobs' task sets. Generation is
+	// cheap next to analysis but still worth parallelising. A panic in
+	// the generator is isolated to its job (generation is
+	// deterministic, so there is no point retrying); a plain error
+	// still aborts the sweep — it signals a misconfiguration that
+	// would fail every job.
 	sets := make([]*taskmodel.TaskSet, len(jobs))
 	genErrs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -274,12 +369,24 @@ func sweep(opts Options, numPoints int,
 				// (paired samples), so series differ only through the
 				// analysis, not the sample.
 				seed := seedFor(opts.Seed, j.sample, j.util)
-				sets[ji], genErrs[ji] = taskgen.Generate(cfg, pools[j.pointIdx], rand.New(rand.NewSource(seed)))
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							opts.Observer.Add(telemetry.CtrJobPanics, 1)
+							opts.Observer.Add(telemetry.CtrJobFailures, 1)
+							sets[ji] = nil
+							fail(ji, fmt.Errorf("generation panic: %v", r), debug.Stack())
+						}
+					}()
+					sets[ji], genErrs[ji] = taskgen.Generate(cfg, pools[j.pointIdx], rand.New(rand.NewSource(seed)))
+				}()
 			}
 		}()
 	}
 	for ji := range jobs {
-		work <- ji
+		if states[ji] == jobPending {
+			work <- ji
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -289,42 +396,65 @@ func sweep(opts Options, numPoints int,
 		}
 	}
 
-	// Phase 2: analyse every set under every variant through the
-	// shared worker pool. Within one request AnalyzeAll reuses the
-	// precomputed interference tables across the variants.
+	// Phase 2: analyse every pending set under every variant through
+	// the shared worker pool. Within one request AnalyzeAll reuses the
+	// precomputed interference tables across the variants. Panics are
+	// isolated per job: the batch retries a panicking job once on the
+	// naive reference analyzer and reports terminal failures through
+	// OnFailure instead of aborting.
 	varCfgs := variantConfigs(variants)
-	reqs := make([]core.BatchRequest, len(jobs))
-	for ji, ts := range sets {
-		reqs[ji] = core.BatchRequest{
-			TS:    ts,
+	var reqs []core.BatchRequest
+	var reqJob []int // request index -> job index
+	jobReq := make([]int, len(jobs))
+	for ji := range jobs {
+		jobReq[ji] = -1
+		if states[ji] != jobPending || sets[ji] == nil {
+			continue
+		}
+		jobReq[ji] = len(reqs)
+		reqJob = append(reqJob, ji)
+		reqs = append(reqs, core.BatchRequest{
+			TS:    sets[ji],
 			Cfgs:  varCfgs,
 			Label: fmt.Sprintf("p%d u=%.2f #%d", jobs[ji].pointIdx, jobs[ji].util, jobs[ji].sample),
-		}
+		})
 	}
 	var done, verdicts, sched atomic.Int64
-	var onResult func(int, []*core.Result, string)
-	if opts.Progress != nil {
-		total := len(jobs)
-		onResult = func(_ int, res []*core.Result, _ string) {
-			d := done.Add(1)
-			var v, s int64
-			for _, r := range res {
-				v++
-				if r.Schedulable {
-					s++
-				}
-			}
-			opts.Progress(ProgressUpdate{
-				Done: int(d), Total: total,
-				Verdicts: verdicts.Add(v), Schedulable: sched.Add(s),
+	total := len(reqs)
+	onResult := func(ri int, res []*core.Result, _ string) {
+		ji := reqJob[ri]
+		if res != nil {
+			sink.add(checkpoint.Record{
+				Key:      keys[ji],
+				Util:     sets[ji].TotalUtilization() / float64(cfgs[jobs[ji].pointIdx].Platform.NumCores),
+				Verdicts: verdictMap(res, variants),
 			})
 		}
+		if opts.Progress == nil {
+			return
+		}
+		d := done.Add(1)
+		var v, s int64
+		for _, r := range res {
+			v++
+			if r.Schedulable {
+				s++
+			}
+		}
+		opts.Progress(ProgressUpdate{
+			Done: int(d), Total: total,
+			Verdicts: verdicts.Add(v), Schedulable: sched.Add(s),
+		})
 	}
 	all, err := core.AnalyzeBatchOpts(reqs, core.BatchOptions{
 		Workers:  opts.Workers,
 		Observer: opts.Observer,
 		Context:  ctx,
 		OnResult: onResult,
+		Isolate:  true,
+		OnFailure: func(ri int, _ string, err error, stack []byte) {
+			fail(reqJob[ri], err, stack)
+		},
 	})
 	interrupted := false
 	if err != nil {
@@ -333,18 +463,41 @@ func sweep(opts Options, numPoints int,
 		}
 		interrupted = true
 	}
+	// Persist whatever completed — exactly what an interrupt needs to
+	// salvage — and surface any checkpointing failure.
+	if ferr := opts.Checkpoint.Flush(); ferr != nil {
+		return nil, ferr
+	}
+	if cerr := sink.firstErr(); cerr != nil {
+		return nil, cerr
+	}
 
 	perPoint := make([][]sample, numPoints)
 	for ji, j := range jobs {
-		if all[ji] == nil {
-			// Skipped after the interrupt.
+		switch states[ji] {
+		case jobForeign:
 			continue
+		case jobRecorded:
+			if records[ji].Failed {
+				continue
+			}
+			perPoint[j.pointIdx] = append(perPoint[j.pointIdx], sample{
+				pointIdx: j.pointIdx,
+				util:     records[ji].Util,
+				verdict:  records[ji].Verdicts,
+			})
+		default:
+			ri := jobReq[ji]
+			if ri < 0 || all[ri] == nil {
+				// Failed, or skipped after the interrupt.
+				continue
+			}
+			perPoint[j.pointIdx] = append(perPoint[j.pointIdx], sample{
+				pointIdx: j.pointIdx,
+				util:     sets[ji].TotalUtilization() / float64(cfgs[j.pointIdx].Platform.NumCores),
+				verdict:  verdictMap(all[ri], variants),
+			})
 		}
-		perPoint[j.pointIdx] = append(perPoint[j.pointIdx], sample{
-			pointIdx: j.pointIdx,
-			util:     sets[ji].TotalUtilization() / float64(cfgs[j.pointIdx].Platform.NumCores),
-			verdict:  verdictMap(all[ji], variants),
-		})
 	}
 	if interrupted {
 		return perPoint, ErrInterrupted

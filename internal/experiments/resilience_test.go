@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+func studyCSV(t *testing.T, st *Study) string {
+	t.Helper()
+	var b strings.Builder
+	if err := st.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestResumeEquivalence is the acceptance check of checkpoint/resume:
+// a sweep interrupted after roughly half its jobs and resumed from the
+// checkpoint produces byte-identical CSV output to the same sweep run
+// uninterrupted.
+func TestResumeEquivalence(t *testing.T) {
+	baseline, err := Fig2(core.FP, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := studyCSV(t, baseline)
+
+	path := filepath.Join(t.TempDir(), "fig2a.json")
+	hdr := checkpoint.Header{Study: "fig2a", Seed: smallOpts().Seed, TaskSets: smallOpts().TaskSetsPerPoint}
+	log, err := checkpoint.Create(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt after about half of the 15 jobs: one worker, cancel
+	// once 7 results are in, so at most one in-flight job drains.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int64
+	opts := smallOpts()
+	opts.Workers = 1
+	opts.Context = ctx
+	opts.Checkpoint = log
+	opts.Progress = func(u ProgressUpdate) {
+		if done.Add(1) >= 7 {
+			cancel()
+		}
+	}
+	if _, err := Fig2(core.FP, opts); err != ErrInterrupted {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpoint must hold real progress, but not the whole sweep.
+	persisted, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := persisted.Len(); n < 7 || n >= 15 {
+		t.Fatalf("checkpoint has %d/15 records after the interrupt, want a strict partial >= 7", n)
+	}
+
+	// Resume: recorded jobs are skipped, the rest computed, and the
+	// fold must reproduce the uninterrupted bytes.
+	resumed, err := checkpoint.Resume(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := telemetry.New()
+	opts = smallOpts()
+	opts.Checkpoint = resumed
+	opts.Observer = obs
+	st, err := Fig2(core.FP, opts)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got := studyCSV(t, st); got != want {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n--- resumed ---\n%s--- uninterrupted ---\n%s", got, want)
+	}
+	// The resume actually reused records: strictly fewer analyzer runs
+	// than the full sweep's 15 jobs x 3 variants.
+	if runs := obs.Metrics.Get(telemetry.CtrRuns); runs >= 15*3 {
+		t.Errorf("resume reanalyzed everything (%d analyzer runs)", runs)
+	}
+	if resumed.Len() != 15 {
+		t.Errorf("checkpoint has %d records after the resume, want all 15", resumed.Len())
+	}
+}
+
+// TestShardMergeEquivalence is the acceptance check of sharding: three
+// independent shard runs cover disjoint job subsets whose merged
+// checkpoints reproduce the single-process CSV byte for byte.
+func TestShardMergeEquivalence(t *testing.T) {
+	baseline, err := Fig2(core.FP, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := studyCSV(t, baseline)
+
+	const n = 3
+	dir := t.TempDir()
+	paths := make([]string, n)
+	perShard := make([]int, n)
+	for i := 0; i < n; i++ {
+		sh := checkpoint.Shard{Index: i, Count: n}
+		paths[i] = filepath.Join(dir, "fig2a.shard"+sh.String()[:1]+".json")
+		log, err := checkpoint.Create(paths[i], checkpoint.Header{
+			Study: "fig2a", Seed: smallOpts().Seed, TaskSets: smallOpts().TaskSetsPerPoint, Shard: sh,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := smallOpts()
+		opts.Shard = sh
+		opts.Checkpoint = log
+		if _, err := Fig2(core.FP, opts); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+		perShard[i] = log.Len()
+	}
+	total := 0
+	for i, c := range perShard {
+		total += c
+		if c == 15 {
+			t.Errorf("shard %d analyzed every job — sharding is not partitioning", i)
+		}
+	}
+	if total != 15 {
+		t.Fatalf("shards recorded %v jobs (total %d), want a disjoint cover of 15", perShard, total)
+	}
+
+	logs := make([]*checkpoint.Log, n)
+	for i, p := range paths {
+		if logs[i], err = checkpoint.Open(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := checkpoint.Merge(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := telemetry.New()
+	opts := smallOpts()
+	opts.Checkpoint = merged
+	opts.Observer = obs
+	st, err := Fig2(core.FP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := studyCSV(t, st); got != want {
+		t.Errorf("merged CSV differs from single-process run:\n--- merged ---\n%s--- single ---\n%s", got, want)
+	}
+	if runs := obs.Metrics.Get(telemetry.CtrRuns); runs != 0 {
+		t.Errorf("merge recomputed %d analyzer runs, want 0 (every job recorded)", runs)
+	}
+}
+
+// TestShardedRunsAreDisjointAndDeterministic: the same shard re-run
+// yields identical partial results, and a 1-shard run equals the
+// unsharded sweep.
+func TestShardedRunsAreDisjointAndDeterministic(t *testing.T) {
+	opts := smallOpts()
+	opts.Shard = checkpoint.Shard{Index: 1, Count: 3}
+	a, err := Fig2(core.FP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig2(core.FP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if studyCSV(t, a) != studyCSV(t, b) {
+		t.Error("same shard produced different results across runs")
+	}
+
+	baseline, err := Fig2(core.FP, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := smallOpts()
+	solo.Shard = checkpoint.Shard{Index: 0, Count: 1}
+	c, err := Fig2(core.FP, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if studyCSV(t, c) != studyCSV(t, baseline) {
+		t.Error("shard 0/1 differs from the unsharded sweep")
+	}
+}
+
+// TestSweepPanicIsolation is the acceptance check of panic isolation:
+// an injected panic that survives the reference retry leaves the
+// sweep completing with that single job marked failed,
+// sweep.job_panics == 1, and every other data point unchanged.
+func TestSweepPanicIsolation(t *testing.T) {
+	baseline, err := Fig2(core.FP, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// smallOpts sweeps utilizations {0.2, 0.5, 0.8}; poison one sample
+	// of the middle point on both the engine attempt and the retry.
+	const victim = "p1 u=0.50 #2"
+	core.SetBatchFaultHook(func(label string, attempt int) {
+		if label == victim {
+			panic("injected: " + label)
+		}
+	})
+	defer core.SetBatchFaultHook(nil)
+
+	obs := telemetry.New()
+	var failedKeys []string
+	path := filepath.Join(t.TempDir(), "fig2a.json")
+	log, err := checkpoint.Create(path, checkpoint.Header{Study: "fig2a", Seed: smallOpts().Seed, TaskSets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts()
+	opts.Workers = 1 // serialize so failedKeys needs no lock
+	opts.Observer = obs
+	opts.Checkpoint = log
+	opts.OnJobFailure = func(key string, err error, stack []byte) {
+		failedKeys = append(failedKeys, key)
+		if len(stack) == 0 {
+			t.Error("job failure carries no stack")
+		}
+	}
+	st, err := Fig2(core.FP, opts)
+	if err != nil {
+		t.Fatalf("sweep with one poisoned job: %v", err)
+	}
+
+	if got := obs.Metrics.Get(telemetry.CtrJobPanics); got != 1 {
+		t.Errorf("sweep.job_panics = %d, want 1", got)
+	}
+	if got := obs.Metrics.Get(telemetry.CtrJobFailures); got != 1 {
+		t.Errorf("sweep.job_failures = %d, want 1", got)
+	}
+	if len(failedKeys) != 1 || failedKeys[0] != jobKey(1, 0.5, 2) {
+		t.Errorf("failed keys = %v, want exactly [%s]", failedKeys, jobKey(1, 0.5, 2))
+	}
+	// The failure is durable: recorded in the checkpoint as failed.
+	rec, ok := log.Lookup(jobKey(1, 0.5, 2))
+	if !ok || !rec.Failed || !strings.Contains(rec.Err, "injected") {
+		t.Errorf("checkpoint record for the failed job = %+v, ok=%v", rec, ok)
+	}
+
+	// All other points are bit-identical to the healthy run; the
+	// poisoned point lost exactly one of its five samples.
+	for si, ser := range baseline.Series {
+		for p, v := range ser.Values {
+			got := st.Series[si].Values[p]
+			if p != 1 {
+				if got != v {
+					t.Errorf("%s point %d: %g != baseline %g (unaffected point changed)", ser.Name, p, got, v)
+				}
+				continue
+			}
+			// 4 surviving samples: the ratio is a multiple of 1/4.
+			if got != float64(int(got*4+0.5))/4 {
+				t.Errorf("%s poisoned point: ratio %g is not over 4 samples", ser.Name, got)
+			}
+		}
+	}
+}
+
+// TestSweepPanicReferenceRescue: when only the optimized engine
+// panics, the naive-reference retry rescues the job and the study is
+// indistinguishable from a healthy run.
+func TestSweepPanicReferenceRescue(t *testing.T) {
+	baseline, err := Fig2(core.FP, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetBatchFaultHook(func(label string, attempt int) {
+		if label == "p1 u=0.50 #2" && attempt == 0 {
+			panic("engine-only fault")
+		}
+	})
+	defer core.SetBatchFaultHook(nil)
+
+	obs := telemetry.New()
+	opts := smallOpts()
+	opts.Observer = obs
+	st, err := Fig2(core.FP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := studyCSV(t, st); got != studyCSV(t, baseline) {
+		t.Error("reference-rescued run differs from the healthy run")
+	}
+	if got := obs.Metrics.Get(telemetry.CtrJobPanics); got != 1 {
+		t.Errorf("sweep.job_panics = %d, want 1", got)
+	}
+	if got := obs.Metrics.Get(telemetry.CtrJobFailures); got != 0 {
+		t.Errorf("sweep.job_failures = %d, want 0", got)
+	}
+}

@@ -1,6 +1,9 @@
 package experiments
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Seed derivation for sweep jobs.
 //
@@ -34,6 +37,16 @@ func seedFor(base int64, sample int, util float64) int64 {
 	h = mix64(h + uint64(sample))
 	h = mix64(h + math.Float64bits(util))
 	return int64(h)
+}
+
+// jobKey is the stable identity of one sweep job within its study —
+// the unit of sharding and checkpointing. The utilization enters as
+// its exact float bits, so keys never depend on decimal formatting,
+// and the key (unlike the seed) includes the point index: distinct
+// sweep points analyze the same task set under different platforms
+// and must be recorded separately.
+func jobKey(point int, util float64, sample int) string {
+	return fmt.Sprintf("p%02d|u%016x|s%05d", point, math.Float64bits(util), sample)
 }
 
 // DefaultUtilizations returns the paper's utilization grid, 0.05 to

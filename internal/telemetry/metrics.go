@@ -64,6 +64,15 @@ const (
 	// per-geometry memo cache; CtrPoolMemoMisses counts cold extractions.
 	CtrPoolMemoHits
 	CtrPoolMemoMisses
+	// CtrJobPanics counts sweep jobs whose analysis (or generation)
+	// panicked and was recovered by the isolation layer. A panicking
+	// job is retried once on the naive reference analyzer; only the
+	// initial panic is counted here.
+	CtrJobPanics
+	// CtrJobFailures counts sweep jobs that failed for good — the
+	// reference retry panicked or errored too — and were recorded as
+	// per-job failures instead of aborting the sweep.
+	CtrJobFailures
 
 	numCounters
 )
@@ -86,6 +95,8 @@ var counterNames = [numCounters]string{
 	CtrAbortBusOverload:      "abort.bus_overload",
 	CtrPoolMemoHits:          "pool.memo_hits",
 	CtrPoolMemoMisses:        "pool.memo_misses",
+	CtrJobPanics:             "sweep.job_panics",
+	CtrJobFailures:           "sweep.job_failures",
 }
 
 func (c Counter) String() string {
@@ -161,8 +172,10 @@ type HistSnapshot struct {
 	Sum   int64   `json:"sum"`
 	Mean  float64 `json:"mean"`
 	Max   int64   `json:"max"`
-	// Buckets[k] counts observations in [2^(k-1), 2^k); trailing empty
-	// buckets are trimmed.
+	// Buckets[0] counts zeros (including clamped negatives); Buckets[k]
+	// for k >= 1 counts observations in [2^(k-1), 2^k). The top bucket
+	// additionally absorbs values at or above 2^(histBuckets-1), so no
+	// observation is ever dropped. Trailing empty buckets are trimmed.
 	Buckets []int64 `json:"buckets"`
 }
 

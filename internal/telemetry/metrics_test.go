@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -63,6 +64,58 @@ func TestHistogramSnapshot(t *testing.T) {
 	}
 	if total != s.Count {
 		t.Errorf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+// TestHistogramObserveBucketBoundaries audits the bucket map of
+// Observe one value at a time: bucket k is bits.Len64(v), so bucket 0
+// holds only zeros (and clamped negatives), bucket k >= 1 holds
+// [2^(k-1), 2^k), and the top bucket absorbs everything at or above
+// 2^(histBuckets-1) instead of indexing out of range.
+func TestHistogramObserveBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		name   string
+		v      int64
+		bucket int
+		sum    int64 // after clamping
+	}{
+		{"zero", 0, 0, 0},
+		{"negative clamps to zero", -17, 0, 0},
+		{"one", 1, 1, 1},
+		{"two", 2, 2, 2},
+		{"bucket 2 upper edge", 3, 2, 3},
+		{"bucket 3 lower edge", 4, 3, 4},
+		{"power of two minus one", 1<<10 - 1, 10, 1<<10 - 1},
+		{"power of two", 1 << 10, 11, 1 << 10},
+		{"top bucket lower edge", 1 << (histBuckets - 2), histBuckets - 1, 1 << (histBuckets - 2)},
+		{"first overflowing value", 1 << (histBuckets - 1), histBuckets - 1, 1 << (histBuckets - 1)},
+		{"deep overflow", 1 << 50, histBuckets - 1, 1 << 50},
+		{"max int64", math.MaxInt64, histBuckets - 1, math.MaxInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			h.Observe(tc.v)
+			s := h.Snapshot()
+			if s.Count != 1 {
+				t.Fatalf("count = %d, want 1", s.Count)
+			}
+			if s.Sum != tc.sum {
+				t.Errorf("sum = %d, want %d", s.Sum, tc.sum)
+			}
+			if s.Max != tc.sum {
+				t.Errorf("max = %d, want %d", s.Max, tc.sum)
+			}
+			// Snapshot trims trailing zero buckets, so the single
+			// observation's bucket must be the last one.
+			if len(s.Buckets) != tc.bucket+1 {
+				t.Fatalf("observation landed in bucket %d, want %d (buckets: %v)",
+					len(s.Buckets)-1, tc.bucket, s.Buckets)
+			}
+			if s.Buckets[tc.bucket] != 1 {
+				t.Errorf("bucket %d = %d, want 1 (buckets: %v)", tc.bucket, s.Buckets[tc.bucket], s.Buckets)
+			}
+		})
 	}
 }
 
