@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+)
+
+// TestMain lets the test binary double as the daemon: with the helper
+// env set it runs main() verbatim, so e2e tests can exercise the real
+// signal path (SIGTERM → drain → exit 0) against a real process.
+func TestMain(m *testing.M) {
+	if os.Getenv("BUSCOND_E2E_HELPER") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// syncBuffer lets the test poll daemon output while run() writes it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// analyzeBody marshals the Fig. 1 example as a /v1/analyze request.
+func analyzeBody(t *testing.T) []byte {
+	t.Helper()
+	var tsBuf bytes.Buffer
+	if err := fixtures.Fig1TaskSet().WriteJSON(&tsBuf); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"taskset": json.RawMessage(tsBuf.Bytes()),
+		"configs": []map[string]any{
+			{"arbiter": "fp", "persistence": true},
+			{"arbiter": "rr", "persistence": true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestRunServeCacheAndDrain drives the daemon through run(): serve an
+// analysis byte-identical to the direct engine call, answer the
+// re-POST from the cache, then drain on context cancel and exit 0.
+func TestRunServeCacheAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errOut syncBuffer
+	done := make(chan struct{})
+	var code int
+	var runErr error
+	go func() {
+		defer close(done)
+		code, runErr = run(ctx, []string{"-addr", "127.0.0.1:0"}, &out, &errOut)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address:\n%s\n%s", out.String(), errOut.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	direct, err := core.AnalyzeBatch([]core.BatchRequest{{
+		TS: fixtures.Fig1TaskSet(),
+		Cfgs: []core.Config{
+			{Arbiter: core.FP, Persistence: true},
+			{Arbiter: core.RR, Persistence: true},
+		},
+	}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(direct[0])
+
+	post := func() (bool, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(analyzeBody(t)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d\n%s", resp.StatusCode, data)
+		}
+		var env struct {
+			Cached  bool            `json:"cached"`
+			Results json.RawMessage `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return env.Cached, env.Results
+	}
+
+	cached1, res1 := post()
+	if cached1 {
+		t.Error("first request reported cached")
+	}
+	if !bytes.Equal(res1, want) {
+		t.Errorf("served results differ from direct AnalyzeBatch:\nserver: %s\ndirect: %s", res1, want)
+	}
+	cached2, res2 := post()
+	if !cached2 {
+		t.Error("re-POST missed the cache")
+	}
+	if !bytes.Equal(res2, res1) {
+		t.Error("cached bytes differ from the first response")
+	}
+
+	hr, err := http.Get(base + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v (status %d)", err, hr.StatusCode)
+	}
+	hr.Body.Close()
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+	if runErr != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v", code, runErr)
+	}
+	if !bytes.Contains([]byte(out.String()), []byte("drained")) {
+		t.Errorf("output missing drain notice:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code, err := run(context.Background(), []string{"-addr", "not-an-address"}, &out, &errOut); err == nil || code != 1 {
+		t.Errorf("bad address: code=%d err=%v, want a failure", code, err)
+	}
+	if code, err := run(context.Background(), []string{"-no-such-flag"}, &out, &errOut); err == nil || code != 1 {
+		t.Errorf("unknown flag: code=%d err=%v, want a failure", code, err)
+	}
+}
+
+// TestSIGTERMDrainsAndExitsZero pins the acceptance criterion against
+// a real process: SIGTERM must drain the daemon and exit 0.
+func TestSIGTERMDrainsAndExitsZero(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("no SIGTERM on windows")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-addr", "127.0.0.1:0")
+	cmd.Env = append(os.Environ(), "BUSCOND_E2E_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+			base = m[1]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced its address (scan err: %v)", sc.Err())
+	}
+
+	// One real request before the signal, so the drain path has served
+	// traffic behind it.
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(analyzeBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(stdout)
+	waitErr := cmd.Wait()
+	if waitErr != nil {
+		t.Fatalf("daemon exited non-zero after SIGTERM: %v", waitErr)
+	}
+	all := fmt.Sprintf("%s\n%s", "", rest)
+	if !bytes.Contains([]byte(all), []byte("drained")) {
+		t.Errorf("drain notice missing from output:\n%s", all)
+	}
+}

@@ -1,0 +1,121 @@
+// Command buscond serves the WCRT analysis engine over HTTP — the
+// analysis-as-a-service front end (internal/server). It canonicalizes
+// and caches requests, coalesces concurrent duplicates, sheds load
+// beyond a bounded queue, and drains gracefully on SIGTERM/SIGINT
+// (in-flight requests finish, then the process exits 0).
+//
+// Usage:
+//
+//	buscond -addr 127.0.0.1:8080 -workers 8 -cache-entries 4096
+//
+// Endpoints: POST /v1/analyze, POST /v1/analyze/batch, GET /healthz,
+// GET /metrics, GET /debug/pprof/*. See DESIGN.md §11 and the README
+// quickstart for the wire format.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// run starts the daemon against explicit streams and blocks until ctx
+// is canceled (the signal path) or the listener fails; tests drive it
+// end to end. The returned code is the process exit code: 0 after a
+// clean drain, 1 on setup or serve errors.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("buscond", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "concurrent engine invocations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "requests allowed to wait for a worker before shedding (0 = 2x workers, negative = none)")
+	cacheEntries := fs.Int("cache-entries", 0, "result cache capacity (0 = 1024, negative = disable caching)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "result cache entry lifetime (0 = no expiry)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline while queued (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	metrics := fs.Bool("metrics", false, "print the counter summary on exit")
+	verbose := fs.Bool("v", false, "enable debug logging")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+
+	sess, err := telemetry.StartSession(telemetry.SessionOptions{
+		Tool: "buscond", Metrics: *metrics, Verbose: *verbose, Out: stderr,
+	})
+	if err != nil {
+		return 1, err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil {
+			fmt.Fprintln(stderr, "buscond:", cerr)
+		}
+	}()
+	obs := sess.Observer()
+	if obs == nil {
+		// The server counters are cheap atomics; keep them on
+		// unconditionally so /metrics always has data.
+		obs = telemetry.New()
+	}
+
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		CacheTTL:       *cacheTTL,
+		RequestTimeout: *timeout,
+		Observer:       obs,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return 1, err
+	}
+	// The resolved address line is load-bearing: tests and scripts bind
+	// port 0 and scrape the actual port from here.
+	fmt.Fprintf(stdout, "buscond: listening on http://%s (POST /v1/analyze)\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return 1, err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising health, refuse new connections,
+	// wait for in-flight requests, then exit 0.
+	srv.StartDrain()
+	fmt.Fprintln(stdout, "buscond: draining (in-flight requests will finish)")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return 1, fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(stdout, "buscond: drained, exiting")
+	return 0, nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "buscond:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestMain lets the test binary double as the command: with the helper
+// env set it runs main() verbatim, so e2e tests can exercise the real
+// signal path (SIGINT → partial output → exit 130) against a real
+// process.
+func TestMain(m *testing.M) {
+	if os.Getenv("SIMULATE_E2E_HELPER") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func TestRunSoundnessDemo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code, err := run(context.Background(), []string{"-seed", "3", "-jobs", "2"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{"observed max R", "soundness: all observed response times"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-policy", "bogus"},
+		{"-jobs", "0"},
+	} {
+		var out, errOut bytes.Buffer
+		if code, err := run(context.Background(), args, &out, &errOut); err == nil || code != 1 {
+			t.Errorf("%v: code=%d err=%v, want a failure", args, code, err)
+		}
+	}
+}
+
+func TestRunPreCanceledExits130(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut bytes.Buffer
+	code, err := run(ctx, []string{"-seed", "3", "-jobs", "2"}, &out, &errOut)
+	if err != nil || code != 130 {
+		t.Fatalf("run: code=%d err=%v, want 130 with no error", code, err)
+	}
+}
+
+// TestSIGINTPrintsPartialResultsAndExits130 pins the interrupt
+// contract against a real process: Ctrl-C during the simulation must
+// still print the observed-behaviour table (analytical columns
+// degrade to n/a) and exit with code 130.
+func TestSIGINTPrintsPartialResultsAndExits130(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("no SIGINT delivery on windows")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -jobs 1000 stretches the (uninterruptible) simulation step to a
+	// couple of seconds, so the signal reliably lands inside it.
+	cmd := exec.Command(exe, "-seed", "3", "-jobs", "1000")
+	cmd.Env = append(os.Environ(), "SIMULATE_E2E_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	started := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "simulating") {
+			started = true
+			break
+		}
+	}
+	if !started {
+		t.Fatalf("command never announced the simulation (scan err: %v)", sc.Err())
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(stdout)
+	waitErr := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(waitErr, &ee) || ee.ExitCode() != 130 {
+		t.Fatalf("exit after SIGINT: %v, want code 130\n%s", waitErr, rest)
+	}
+	for _, want := range []string{"observed max R", "INTERRUPTED"} {
+		if !strings.Contains(string(rest), want) {
+			t.Errorf("partial output missing %q:\n%s", want, rest)
+		}
+	}
+}

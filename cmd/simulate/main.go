@@ -7,13 +7,20 @@
 // Usage:
 //
 //	simulate -seed 3 -cores 2 -tasks-per-core 3 -util 0.3 -policy rr -jobs 3
+//
+// Ctrl-C interrupts between the simulation and analysis steps; the
+// observed results gathered so far are still printed and the process
+// exits with code 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
 	"text/tabwriter"
 
@@ -29,18 +36,28 @@ import (
 // jobs that only make sense with -jobs 1.
 var smallBenchmarks = []string{"lcdnum", "cnt", "qurt", "crc", "jfdctint", "ns", "edn"}
 
-func run() error {
-	seed := flag.Int64("seed", 1, "RNG seed")
-	cores := flag.Int("cores", 2, "number of cores")
-	perCore := flag.Int("tasks-per-core", 3, "tasks per core")
-	util := flag.Float64("util", 0.3, "per-core utilization target")
-	policyS := flag.String("policy", "rr", "bus policy: fp, rr or tdma")
-	jobs := flag.Int("jobs", 3, "simulate about this many jobs of the longest-period task")
-	sets := flag.Int("sets", 64, "cache sets per core")
-	dmem := flag.Int64("dmem", 5, "memory access time (cycles)")
-	allBench := flag.Bool("all-benchmarks", false, "draw from the full suite (large traces; slow)")
-	trace := flag.Bool("trace", false, "print every simulator event (releases, misses, bus grants, preemptions)")
-	flag.Parse()
+// run executes the whole command against explicit streams and returns
+// the process exit code (0 ok, 2 soundness violation, 130
+// interrupted), so tests can drive it end to end.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "RNG seed")
+	cores := fs.Int("cores", 2, "number of cores")
+	perCore := fs.Int("tasks-per-core", 3, "tasks per core")
+	util := fs.Float64("util", 0.3, "per-core utilization target")
+	policyS := fs.String("policy", "rr", "bus policy: fp, rr or tdma")
+	jobs := fs.Int("jobs", 3, "simulate about this many jobs of the longest-period task")
+	sets := fs.Int("sets", 64, "cache sets per core")
+	dmem := fs.Int64("dmem", 5, "memory access time (cycles)")
+	allBench := fs.Bool("all-benchmarks", false, "draw from the full suite (large traces; slow)")
+	trace := fs.Bool("trace", false, "print every simulator event (releases, misses, bus grants, preemptions)")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if *jobs < 1 {
+		return 1, fmt.Errorf("-jobs must be at least 1 (got %d)", *jobs)
+	}
 
 	var policy sim.Policy
 	var arbiter core.Arbiter
@@ -52,7 +69,7 @@ func run() error {
 	case "tdma":
 		policy, arbiter = sim.PolicyTDMA, core.TDMA
 	default:
-		return fmt.Errorf("unknown policy %q", *policyS)
+		return 1, fmt.Errorf("unknown policy %q", *policyS)
 	}
 
 	cfg := taskgen.Config{
@@ -78,11 +95,11 @@ func run() error {
 	for _, name := range names {
 		b, err := benchsuite.ByName(name)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		p, err := benchsuite.Extract(b, cfg.Platform.Cache)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		r := p.Result
 		pool = append(pool, taskgen.TaskParams{
@@ -92,9 +109,16 @@ func run() error {
 		progs[name] = &benchProg{bench: b}
 	}
 
+	// The simulator and analyzer are not context-aware mid-run; honour
+	// Ctrl-C between the steps instead.
+	canceled := func() bool { return ctx != nil && ctx.Err() != nil }
+	if canceled() {
+		return 130, nil
+	}
+
 	ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(*seed)))
 	if err != nil {
-		return err
+		return 1, err
 	}
 
 	var bindings []sim.TaskBinding
@@ -103,28 +127,41 @@ func run() error {
 	}
 	horizon := sim.HorizonForJobs(bindings, *jobs)
 
-	fmt.Printf("simulating %d tasks on %d cores, %s bus, horizon %d cycles\n\n",
+	fmt.Fprintf(stdout, "simulating %d tasks on %d cores, %s bus, horizon %d cycles\n\n",
 		len(bindings), *cores, policy, horizon)
 
+	// Once announced, the simulation always runs to completion (it is
+	// not interruptible mid-cycle) so an interrupt can still report the
+	// observed behaviour below.
 	simCfg := sim.Config{Policy: policy, Horizon: horizon}
 	if *trace {
-		simCfg.Trace = &sim.WriterTracer{W: os.Stdout}
+		simCfg.Trace = &sim.WriterTracer{W: stdout}
 	}
 	simRes, err := sim.Run(cfg.Platform, bindings, simCfg)
 	if err != nil {
-		return err
+		return 1, err
 	}
 
-	base, err := core.Analyze(ts, core.Config{Arbiter: arbiter, Persistence: false})
-	if err != nil {
-		return err
+	// An interrupt after the simulation still prints the observed
+	// behaviour; the analytical columns degrade to "n/a".
+	var base, aware *core.Result
+	interrupted := canceled()
+	if !interrupted {
+		if base, err = core.Analyze(ts, core.Config{Arbiter: arbiter, Persistence: false}); err != nil {
+			return 1, err
+		}
+		interrupted = canceled()
 	}
-	aware, err := core.Analyze(ts, core.Config{Arbiter: arbiter, Persistence: true})
-	if err != nil {
-		return err
+	if !interrupted {
+		if aware, err = core.Analyze(ts, core.Config{Arbiter: arbiter, Persistence: true}); err != nil {
+			return 1, err
+		}
 	}
 
 	boundOf := func(res *core.Result, prio int) string {
+		if res == nil {
+			return "n/a" // interrupted before this analysis ran
+		}
 		for _, tr := range res.Tasks {
 			if tr.Priority == prio {
 				switch {
@@ -140,7 +177,7 @@ func run() error {
 		return "?"
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "task\tcore\tprio\tjobs\tobserved max R\tWCRT (base)\tWCRT (CP)\tmax misses/job\tdeadline misses")
 	violated := false
 	for _, task := range ts.Tasks {
@@ -150,8 +187,8 @@ func run() error {
 			boundOf(base, task.Priority), boundOf(aware, task.Priority),
 			st.MaxMissesPerJob, st.DeadlineMisses)
 		for _, res := range []*core.Result{base, aware} {
-			if !res.Complete {
-				continue // bounds are mid-iteration estimates, not claims
+			if res == nil || !res.Complete {
+				continue // bounds are missing or mid-iteration estimates, not claims
 			}
 			for _, tr := range res.Tasks {
 				if tr.Priority == task.Priority && tr.Schedulable && st.MaxResponse > tr.WCRT {
@@ -161,27 +198,37 @@ func run() error {
 		}
 	}
 	if err := tw.Flush(); err != nil {
-		return err
+		return 1, err
 	}
 
-	fmt.Printf("\nbus: %d accesses served, busy %d of %d cycles (%.1f%%)\n",
+	fmt.Fprintf(stdout, "\nbus: %d accesses served, busy %d of %d cycles (%.1f%%)\n",
 		simRes.BusServe, simRes.BusBusy, simRes.Cycles,
 		100*float64(simRes.BusBusy)/float64(simRes.Cycles))
-	fmt.Printf("analysis verdicts: baseline schedulable=%v, persistence-aware schedulable=%v\n",
-		base.Schedulable, aware.Schedulable)
 	if violated {
-		fmt.Println("SOUNDNESS VIOLATION: an observed response exceeded a claimed WCRT bound")
-		os.Exit(2)
+		fmt.Fprintln(stdout, "SOUNDNESS VIOLATION: an observed response exceeded a claimed WCRT bound")
+		return 2, nil
 	}
-	fmt.Println("soundness: all observed response times within claimed WCRT bounds")
-	return nil
+	if interrupted {
+		fmt.Fprintln(stdout, "INTERRUPTED: observed results above; analytical bounds were not (fully) computed")
+		return 130, nil
+	}
+	fmt.Fprintf(stdout, "analysis verdicts: baseline schedulable=%v, persistence-aware schedulable=%v\n",
+		base.Schedulable, aware.Schedulable)
+	fmt.Fprintln(stdout, "soundness: all observed response times within claimed WCRT bounds")
+	return 0, nil
 }
 
 type benchProg struct{ bench benchsuite.Benchmark }
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestMain lets the test binary double as the command: with the helper
+// env set it runs main() verbatim, so e2e tests can exercise the real
+// signal path (SIGINT → partial summary → exit 130) against a real
+// process.
+func TestMain(m *testing.M) {
+	if os.Getenv("VALIDATE_E2E_HELPER") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func TestRunSmallCampaign(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code, err := run(context.Background(), []string{"-seeds", "1", "-jobs", "2"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{"1 workloads", "all analytical bounds dominate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-jobs", "0"},
+	} {
+		var out, errOut bytes.Buffer
+		if code, err := run(context.Background(), args, &out, &errOut); err == nil || code != 1 {
+			t.Errorf("%v: code=%d err=%v, want a failure", args, code, err)
+		}
+	}
+}
+
+func TestRunPreCanceledExits130(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut bytes.Buffer
+	code, err := run(ctx, []string{"-seeds", "5"}, &out, &errOut)
+	if err != nil || code != 130 {
+		t.Fatalf("run: code=%d err=%v, want 130 with no error", code, err)
+	}
+	for _, want := range []string{"INTERRUPTED after 0 of 5 workloads", "0 workloads"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSIGINTPartialSummaryExits130 pins the interrupt contract against
+// a real process: Ctrl-C mid-campaign must stop at the next workload
+// boundary, print the summary for the workloads already checked, and
+// exit with code 130.
+func TestSIGINTPartialSummaryExits130(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("no SIGINT delivery on windows")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far more workloads than will ever complete: the campaign line is
+	// printed before the loop, so the signal lands mid-campaign.
+	cmd := exec.Command(exe, "-seeds", "100000")
+	cmd.Env = append(os.Environ(), "VALIDATE_E2E_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	started := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "campaign of") {
+			started = true
+			break
+		}
+	}
+	if !started {
+		t.Fatalf("command never announced the campaign (scan err: %v)", sc.Err())
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(stdout)
+	waitErr := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(waitErr, &ee) || ee.ExitCode() != 130 {
+		t.Fatalf("exit after SIGINT: %v, want code 130\n%s", waitErr, rest)
+	}
+	if !strings.Contains(string(rest), "INTERRUPTED after") {
+		t.Errorf("partial summary missing from output:\n%s", rest)
+	}
+	if !bytes.Contains(rest, []byte("violations")) {
+		t.Errorf("summary line missing from output:\n%s", rest)
+	}
+}

@@ -9,13 +9,20 @@
 // Usage:
 //
 //	validate -seeds 20 -util 0.25 -jobs 3
+//
+// Ctrl-C interrupts between workloads; the summary covers the
+// workloads completed so far and the process exits with code 130 (or
+// 2 if a violation had already been found).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"repro/internal/benchsuite"
 	"repro/internal/core"
@@ -27,14 +34,24 @@ import (
 
 var smallBenchmarks = []string{"lcdnum", "cnt", "qurt", "crc", "jfdctint", "ns", "edn"}
 
-func run() error {
-	seeds := flag.Int("seeds", 10, "number of random workloads")
-	util := flag.Float64("util", 0.25, "per-core utilization target")
-	cores := flag.Int("cores", 2, "cores")
-	perCore := flag.Int("tasks-per-core", 3, "tasks per core")
-	jobs := flag.Int("jobs", 3, "horizon in jobs of the longest-period task")
-	jitter := flag.Float64("jitter", 0.5, "sporadic arrival jitter fraction (0 disables the sporadic pass)")
-	flag.Parse()
+// run executes the whole campaign against explicit streams and
+// returns the process exit code (0 ok, 2 violations found, 130
+// interrupted), so tests can drive it end to end.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seeds := fs.Int("seeds", 10, "number of random workloads")
+	util := fs.Float64("util", 0.25, "per-core utilization target")
+	cores := fs.Int("cores", 2, "cores")
+	perCore := fs.Int("tasks-per-core", 3, "tasks per core")
+	jobs := fs.Int("jobs", 3, "horizon in jobs of the longest-period task")
+	jitter := fs.Float64("jitter", 0.5, "sporadic arrival jitter fraction (0 disables the sporadic pass)")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if *jobs < 1 {
+		return 1, fmt.Errorf("-jobs must be at least 1 (got %d)", *jobs)
+	}
 
 	cfg := taskgen.Config{
 		Platform: taskmodel.Platform{
@@ -51,11 +68,11 @@ func run() error {
 	for _, name := range smallBenchmarks {
 		b, err := benchsuite.ByName(name)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		p, err := benchsuite.Extract(b, cfg.Platform.Cache)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		r := p.Result
 		pool = append(pool, taskgen.TaskParams{
@@ -77,11 +94,21 @@ func run() error {
 		{Arbiter: core.TDMA}, {Arbiter: core.TDMA, Persistence: true},
 	}
 
-	checks, violations, claimed := 0, 0, 0
+	fmt.Fprintf(stdout, "validate: campaign of %d workloads (%d cores, %d tasks/core, util %.2f)\n",
+		*seeds, *cores, *perCore, *util)
+
+	// Each workload is simulated under every policy and release mode;
+	// honour Ctrl-C between workloads and still print the summary for
+	// the ones already checked.
+	canceled := func() bool { return ctx != nil && ctx.Err() != nil }
+	checks, violations, claimed, completed := 0, 0, 0, 0
 	for seed := int64(0); seed < int64(*seeds); seed++ {
+		if canceled() {
+			break
+		}
 		ts, err := taskgen.Generate(cfg, pool, rand.New(rand.NewSource(seed)))
 		if err != nil {
-			return err
+			return 1, err
 		}
 		var bindings []sim.TaskBinding
 		for _, task := range ts.Tasks {
@@ -105,7 +132,7 @@ func run() error {
 			for _, mode := range modes {
 				simRes, err := sim.Run(ts.Platform, bindings, mode)
 				if err != nil {
-					return err
+					return 1, err
 				}
 				for _, ana := range analyses {
 					if ana.Arbiter != p.arb {
@@ -113,7 +140,7 @@ func run() error {
 					}
 					res, err := core.Analyze(ts, ana)
 					if err != nil {
-						return err
+						return 1, err
 					}
 					if !res.Schedulable {
 						continue
@@ -124,27 +151,41 @@ func run() error {
 						checks++
 						if st.MaxResponse > tr.WCRT || st.DeadlineMisses > 0 {
 							violations++
-							fmt.Printf("VIOLATION seed=%d %v persistence=%v task=%s observed=%d bound=%d misses=%d\n",
+							fmt.Fprintf(stdout, "VIOLATION seed=%d %v persistence=%v task=%s observed=%d bound=%d misses=%d\n",
 								seed, ana.Arbiter, ana.Persistence, st.Name, st.MaxResponse, tr.WCRT, st.DeadlineMisses)
 						}
 					}
 				}
 			}
 		}
+		completed++
 	}
 
-	fmt.Printf("validate: %d workloads, %d schedulable claims, %d per-task checks, %d violations\n",
-		*seeds, claimed, checks, violations)
-	if violations > 0 {
-		os.Exit(2)
+	interrupted := canceled() && completed < *seeds
+	if interrupted {
+		fmt.Fprintf(stdout, "INTERRUPTED after %d of %d workloads\n", completed, *seeds)
 	}
-	fmt.Println("all analytical bounds dominate the simulated behaviour")
-	return nil
+	fmt.Fprintf(stdout, "validate: %d workloads, %d schedulable claims, %d per-task checks, %d violations\n",
+		completed, claimed, checks, violations)
+	if violations > 0 {
+		return 2, nil
+	}
+	if interrupted {
+		return 130, nil
+	}
+	fmt.Fprintln(stdout, "all analytical bounds dominate the simulated behaviour")
+	return 0, nil
 }
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "validate:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }

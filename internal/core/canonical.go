@@ -1,0 +1,132 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"repro/internal/cacheset"
+	"repro/internal/persistence"
+	"repro/internal/taskmodel"
+)
+
+// Request canonicalization for the serving layer (internal/server):
+// an analysis request — one task set plus the configurations to
+// evaluate it under — is reduced to a stable key so that result
+// caching and in-flight coalescing recognize semantically identical
+// requests regardless of how they were phrased on the wire.
+//
+// The key hashes the exact field bits of everything the analysis
+// outcome depends on: the full platform geometry, every task parameter
+// (including the name, which is echoed into results), and the
+// configuration list in order. Fields the engine provably ignores are
+// normalized first (see Config.canonical), so e.g. two requests
+// differing only in the CPRO approach of a persistence-off
+// configuration share one key, one cache slot and one computation.
+
+// canonical returns the configuration with ignored and defaulted
+// fields normalized to their effective values:
+//
+//   - MaxOuterIterations 0 is the documented default of 64;
+//   - CPRO is ignored unless Persistence is set, so it is zeroed for
+//     persistence-off configurations.
+func (c Config) canonical() Config {
+	if c.MaxOuterIterations == 0 {
+		c.MaxOuterIterations = 64
+	}
+	if !c.Persistence {
+		c.CPRO = persistence.Union // zero value; field is ignored
+	}
+	return c
+}
+
+// hashWriter wraps a hash with fixed-width little-endian field
+// encoders. Every field is written as a full 8-byte word (lengths
+// prefix variable-size fields), so distinct field sequences can never
+// collide by concatenation.
+type hashWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (w *hashWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *hashWriter) i64(v int64) { w.u64(uint64(v)) }
+func (w *hashWriter) boolean(b bool) {
+	if b {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+func (w *hashWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *hashWriter) set(s cacheset.Set) {
+	idx := s.Indices()
+	w.u64(uint64(len(idx)))
+	for _, i := range idx {
+		w.i64(int64(i))
+	}
+}
+
+func (w *hashWriter) cache(c taskmodel.CacheConfig) {
+	w.i64(int64(c.NumSets))
+	w.i64(int64(c.BlockSizeBytes))
+	// Associativity 0 and 1 are the same geometry (direct-mapped).
+	w.i64(int64(c.Ways()))
+}
+
+// CanonicalKey returns the canonical identity of analyzing ts under
+// cfgs, as a 64-character lowercase hex string (SHA-256). Two requests
+// share a key if and only if they are guaranteed to produce identical
+// results: the platform, every task field and the normalized
+// configuration list all match bit for bit. Task order does not matter
+// beyond priorities: task sets constructed through NewTaskSet or
+// ReadJSON are already in canonical (ascending-priority) order, and
+// priorities are unique in any valid set.
+func CanonicalKey(ts *taskmodel.TaskSet, cfgs []Config) string {
+	w := &hashWriter{h: sha256.New()}
+	w.str("buscon/canonical/v1")
+
+	p := ts.Platform
+	w.i64(int64(p.NumCores))
+	w.cache(p.Cache)
+	w.i64(int64(p.DMem))
+	w.i64(int64(p.SlotSize))
+	w.cache(p.L2)
+	w.i64(int64(p.DL2))
+
+	w.u64(uint64(len(ts.Tasks)))
+	for _, t := range ts.Tasks {
+		w.str(t.Name)
+		w.i64(int64(t.Core))
+		w.i64(int64(t.Priority))
+		w.i64(int64(t.PD))
+		w.i64(t.MD)
+		w.i64(t.MDr)
+		w.i64(int64(t.Period))
+		w.i64(int64(t.Deadline))
+		w.set(t.UCB)
+		w.set(t.ECB)
+		w.set(t.PCB)
+	}
+
+	w.u64(uint64(len(cfgs)))
+	for _, c := range cfgs {
+		c = c.canonical()
+		w.i64(int64(c.Arbiter))
+		w.boolean(c.Persistence)
+		w.i64(int64(c.CRPD))
+		w.i64(int64(c.CPRO))
+		w.i64(int64(c.MaxOuterIterations))
+	}
+	return hex.EncodeToString(w.h.Sum(nil))
+}

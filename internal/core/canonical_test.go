@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/persistence"
+)
+
+func fig1Cfgs() []Config {
+	return []Config{
+		{Arbiter: FP, Persistence: true},
+		{Arbiter: RR},
+	}
+}
+
+func TestCanonicalKeyStable(t *testing.T) {
+	a := CanonicalKey(fixtures.Fig1TaskSet(), fig1Cfgs())
+	b := CanonicalKey(fixtures.Fig1TaskSet(), fig1Cfgs())
+	if a != b {
+		t.Errorf("two identical requests hash differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.ToLower(a) != a {
+		t.Errorf("key %q is not 64 lowercase hex chars", a)
+	}
+}
+
+// TestCanonicalKeySensitivity flips one field at a time and checks the
+// key moves: any bit the analysis can depend on must be part of the
+// identity, or the serving cache would alias distinct requests.
+func TestCanonicalKeySensitivity(t *testing.T) {
+	base := CanonicalKey(fixtures.Fig1TaskSet(), fig1Cfgs())
+	mutations := map[string]func() string{
+		"dmem": func() string {
+			ts := fixtures.Fig1TaskSet()
+			ts.Platform.DMem++
+			return CanonicalKey(ts, fig1Cfgs())
+		},
+		"slot": func() string {
+			ts := fixtures.Fig1TaskSet()
+			ts.Platform.SlotSize++
+			return CanonicalKey(ts, fig1Cfgs())
+		},
+		"task name": func() string {
+			ts := fixtures.Fig1TaskSet()
+			ts.Tasks[1].Name = "renamed"
+			return CanonicalKey(ts, fig1Cfgs())
+		},
+		"task period": func() string {
+			ts := fixtures.Fig1TaskSet()
+			ts.Tasks[2].Period++
+			return CanonicalKey(ts, fig1Cfgs())
+		},
+		"task MDr": func() string {
+			ts := fixtures.Fig1TaskSet()
+			ts.Tasks[0].MDr++
+			return CanonicalKey(ts, fig1Cfgs())
+		},
+		"pcb set": func() string {
+			ts := fixtures.Fig1TaskSet()
+			ts.Tasks[1].PCB = ts.Tasks[1].UCB
+			return CanonicalKey(ts, fig1Cfgs())
+		},
+		"arbiter": func() string {
+			cfgs := fig1Cfgs()
+			cfgs[1].Arbiter = TDMA
+			return CanonicalKey(fixtures.Fig1TaskSet(), cfgs)
+		},
+		"persistence": func() string {
+			cfgs := fig1Cfgs()
+			cfgs[0].Persistence = false
+			return CanonicalKey(fixtures.Fig1TaskSet(), cfgs)
+		},
+		"cpro with persistence": func() string {
+			cfgs := fig1Cfgs()
+			cfgs[0].CPRO = persistence.MultisetUnion
+			return CanonicalKey(fixtures.Fig1TaskSet(), cfgs)
+		},
+		"config order": func() string {
+			cfgs := fig1Cfgs()
+			cfgs[0], cfgs[1] = cfgs[1], cfgs[0]
+			return CanonicalKey(fixtures.Fig1TaskSet(), cfgs)
+		},
+		"config count": func() string {
+			return CanonicalKey(fixtures.Fig1TaskSet(), fig1Cfgs()[:1])
+		},
+	}
+	seen := map[string]string{base: "base"}
+	for name, mutate := range mutations {
+		got := mutate()
+		if prev, dup := seen[got]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[got] = name
+	}
+}
+
+// TestCanonicalKeyNormalization: fields the engine ignores must not
+// split the cache.
+func TestCanonicalKeyNormalization(t *testing.T) {
+	ts := fixtures.Fig1TaskSet()
+	// CPRO is ignored without persistence.
+	off := []Config{{Arbiter: RR, CPRO: persistence.Union}}
+	offMulti := []Config{{Arbiter: RR, CPRO: persistence.FullReload}}
+	if CanonicalKey(ts, off) != CanonicalKey(ts, offMulti) {
+		t.Error("CPRO split the key of persistence-off configurations")
+	}
+	// MaxOuterIterations 0 means the documented default of 64.
+	def := []Config{{Arbiter: FP}}
+	explicit := []Config{{Arbiter: FP, MaxOuterIterations: 64}}
+	if CanonicalKey(ts, def) != CanonicalKey(ts, explicit) {
+		t.Error("MaxOuterIterations 0 and 64 hash differently")
+	}
+	other := []Config{{Arbiter: FP, MaxOuterIterations: 32}}
+	if CanonicalKey(ts, def) == CanonicalKey(ts, other) {
+		t.Error("a non-default iteration cap must change the key")
+	}
+	// Associativity 0 and 1 are both direct-mapped.
+	assoc := fixtures.Fig1TaskSet()
+	assoc.Platform.Cache.Associativity = 1
+	if CanonicalKey(ts, def) != CanonicalKey(assoc, def) {
+		t.Error("associativity 0 vs 1 (same geometry) hash differently")
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// resultCache is a bounded LRU of marshaled analysis results keyed by
+// the canonical request key. Entries carry an optional TTL; an expired
+// entry is treated as absent and evicted on the lookup that finds it.
+// Storing the serialized bytes (rather than the Result values) keeps
+// cached responses byte-identical to the first computation.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ttl   time.Duration
+	now   func() time.Time
+	obs   *telemetry.Observer
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	raw     json.RawMessage
+	expires time.Time // zero when the cache has no TTL
+}
+
+// newResultCache builds a cache holding up to max entries; max 0
+// disables caching entirely. ttl 0 disables expiry.
+func newResultCache(max int, ttl time.Duration, now func() time.Time, obs *telemetry.Observer) *resultCache {
+	return &resultCache{
+		max: max, ttl: ttl, now: now, obs: obs,
+		ll: list.New(), byKey: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) (json.RawMessage, bool) {
+	if c.max == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ele, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	ent := ele.Value.(*cacheEntry)
+	if c.ttl > 0 && c.now().After(ent.expires) {
+		c.removeLocked(ele)
+		c.obs.Add(telemetry.CtrServerCacheEvictions, 1)
+		return nil, false
+	}
+	c.ll.MoveToFront(ele)
+	return ent.raw, true
+}
+
+func (c *resultCache) put(key string, raw json.RawMessage) {
+	if c.max == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if ele, ok := c.byKey[key]; ok {
+		ent := ele.Value.(*cacheEntry)
+		ent.raw, ent.expires = raw, expires
+		c.ll.MoveToFront(ele)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, raw: raw, expires: expires})
+	for c.ll.Len() > c.max {
+		c.removeLocked(c.ll.Back())
+		c.obs.Add(telemetry.CtrServerCacheEvictions, 1)
+	}
+}
+
+func (c *resultCache) removeLocked(ele *list.Element) {
+	c.ll.Remove(ele)
+	delete(c.byKey, ele.Value.(*cacheEntry).key)
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

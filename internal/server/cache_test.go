@@ -1,0 +1,114 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	obs := telemetry.New()
+	now := time.Unix(1000, 0)
+	c := newResultCache(2, 0, func() time.Time { return now }, obs)
+
+	c.put("a", json.RawMessage(`"A"`))
+	c.put("b", json.RawMessage(`"B"`))
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", json.RawMessage(`"C"`)) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a (recently used) was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing")
+	}
+	if got := obs.Metrics.Get(telemetry.CtrServerCacheEvictions); got != 1 {
+		t.Errorf("server.cache_evictions = %d, want 1", got)
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	obs := telemetry.New()
+	now := time.Unix(1000, 0)
+	c := newResultCache(8, time.Minute, func() time.Time { return now }, obs)
+
+	c.put("k", json.RawMessage(`"V"`))
+	if _, ok := c.get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(59 * time.Second)
+	if _, ok := c.get("k"); !ok {
+		t.Error("entry expired before its TTL")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := c.get("k"); ok {
+		t.Error("entry survived past its TTL")
+	}
+	if got := obs.Metrics.Get(telemetry.CtrServerCacheEvictions); got != 1 {
+		t.Errorf("server.cache_evictions = %d, want 1 for the expiry", got)
+	}
+	if c.len() != 0 {
+		t.Errorf("len = %d after expiry, want 0", c.len())
+	}
+
+	// A re-put after expiry refreshes the deadline.
+	c.put("k", json.RawMessage(`"V2"`))
+	now = now.Add(30 * time.Second)
+	if raw, ok := c.get("k"); !ok || string(raw) != `"V2"` {
+		t.Errorf("refreshed entry = %q ok=%v", raw, ok)
+	}
+}
+
+func TestCacheUpdateMovesToFront(t *testing.T) {
+	c := newResultCache(2, 0, time.Now, nil)
+	c.put("a", json.RawMessage(`1`))
+	c.put("b", json.RawMessage(`2`))
+	c.put("a", json.RawMessage(`3`)) // update, not insert
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2 (update must not grow the cache)", c.len())
+	}
+	c.put("c", json.RawMessage(`4`)) // evicts b, the LRU
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived; update did not refresh a's recency")
+	}
+	if raw, _ := c.get("a"); string(raw) != `3` {
+		t.Errorf("a = %s, want the updated value 3", raw)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0, 0, time.Now, nil)
+	c.put("a", json.RawMessage(`1`))
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache returned a value")
+	}
+	if c.len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestCacheManyKeysBounded(t *testing.T) {
+	c := newResultCache(16, 0, time.Now, nil)
+	for i := 0; i < 1000; i++ {
+		c.put(fmt.Sprintf("k%d", i), json.RawMessage(`0`))
+	}
+	if c.len() != 16 {
+		t.Errorf("len = %d, want the 16-entry bound", c.len())
+	}
+	if _, ok := c.get("k999"); !ok {
+		t.Error("most recent key missing")
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Error("oldest key survived")
+	}
+}

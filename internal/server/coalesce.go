@@ -1,0 +1,56 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent identical requests (singleflight
+// semantics): the first caller for a key becomes the leader and runs
+// the computation; every other caller arriving while it is in flight
+// waits for the leader's outcome instead of repeating the work.
+// Leaders run to completion on their own context, so a follower (or
+// even the leader's client) disconnecting never poisons the shared
+// result; followers stop *waiting* when their own context ends.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	raw  json.RawMessage
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do runs fn for key, coalescing with an identical in-flight call.
+// shared reports whether the result came from another caller's
+// computation.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (json.RawMessage, error)) (raw json.RawMessage, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.raw, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.raw, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.raw, false, c.err
+}

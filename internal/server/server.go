@@ -1,0 +1,370 @@
+// Package server fronts the WCRT analysis engine (internal/core) with
+// an HTTP JSON API — analysis as a service for toolchains that issue
+// many, often near-duplicate, schedulability queries.
+//
+// The serving layer is deliberately pure: it never post-processes
+// engine output. Each request is canonicalized to a stable key
+// (core.CanonicalKey), answered from a bounded LRU result cache when
+// possible, coalesced with identical in-flight work otherwise
+// (singleflight), and only then admitted to a bounded worker pool.
+// Admission beyond the pool plus a configurable queue depth is shed
+// with 429 and a Retry-After hint, so overload degrades by refusing
+// work, not by collapsing. A request whose analysis panics is isolated
+// by the engine's PR-4 recovery path (retry on the reference analyzer,
+// then a per-request failure) — one poisoned request returns a 500 and
+// the daemon keeps serving.
+//
+// Endpoints:
+//
+//	POST /v1/analyze        one task set under a list of configurations
+//	POST /v1/analyze/batch  several of the above in one round trip
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /metrics           telemetry counters as JSON
+//	GET  /debug/pprof/*     standard pprof handlers
+//
+// See DESIGN.md §11 for the full contract.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
+)
+
+// Options configures a Server. The zero value is serviceable: engine
+// concurrency at GOMAXPROCS, a queue of twice that, a 1024-entry cache
+// without expiry, no per-request timeout.
+type Options struct {
+	// Workers bounds concurrent engine invocations; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// before new arrivals are shed with 429. 0 selects 2×Workers; a
+	// negative value disables waiting entirely (busy workers => shed).
+	QueueDepth int
+	// CacheEntries bounds the result cache. 0 selects 1024; a negative
+	// value disables caching.
+	CacheEntries int
+	// CacheTTL expires cache entries; 0 keeps them until evicted by
+	// capacity.
+	CacheTTL time.Duration
+	// RequestTimeout bounds how long a request may wait for a worker
+	// slot and cancels the engine between requests. A running analysis
+	// is never preempted mid-fixed-point — its runtime is bounded by
+	// Config.MaxOuterIterations — but its completed result is still
+	// returned (and cached) even if the deadline passed meanwhile.
+	// 0 disables the deadline.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint attached to 429 responses; 0 selects 1s.
+	RetryAfter time.Duration
+	// Observer receives the server.* counter family and is forwarded to
+	// the engine. nil disables counting.
+	Observer *telemetry.Observer
+	// Now overrides the cache clock (tests). nil selects time.Now.
+	Now func() time.Time
+}
+
+// Server is the HTTP front end. Create with New, expose via Handler.
+type Server struct {
+	opts     Options
+	obs      *telemetry.Observer
+	cache    *resultCache
+	flight   *flightGroup
+	sem      chan struct{} // worker slots
+	tickets  chan struct{} // worker slots + waiting room; full => shed
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a server over the in-process analysis engine.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case opts.QueueDepth < 0:
+		opts.QueueDepth = 0
+	case opts.QueueDepth == 0:
+		opts.QueueDepth = 2 * opts.Workers
+	}
+	switch {
+	case opts.CacheEntries < 0:
+		opts.CacheEntries = 0
+	case opts.CacheEntries == 0:
+		opts.CacheEntries = 1024
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Server{
+		opts:    opts,
+		obs:     opts.Observer,
+		cache:   newResultCache(opts.CacheEntries, opts.CacheTTL, opts.Now, opts.Observer),
+		flight:  newFlightGroup(),
+		sem:     make(chan struct{}, opts.Workers),
+		tickets: make(chan struct{}, opts.Workers+opts.QueueDepth),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/analyze/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root handler; mount it on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain flips /healthz to 503 so load balancers stop routing new
+// traffic; in-flight requests are unaffected. The caller (cmd/buscond)
+// follows up with http.Server.Shutdown, which waits for them.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// errShed marks requests refused by admission control.
+var errShed = errors.New("server: worker pool and queue full")
+
+// analysisError marks a request whose engine run failed terminally
+// (even after the isolation layer's reference retry).
+type analysisError struct{ err error }
+
+func (e *analysisError) Error() string { return e.err.Error() }
+
+// outcome is the result of one analysis request on its way to the
+// wire.
+type outcome struct {
+	key       string
+	raw       json.RawMessage
+	cached    bool
+	coalesced bool
+}
+
+// analyze resolves one request through cache → coalescing → admission
+// → engine. ctx is the *waiting* context (the client's); the engine
+// runs detached so a coalesced result is never poisoned by one
+// client's disconnect.
+func (s *Server) analyze(ctx context.Context, ts *taskmodel.TaskSet, cfgs []core.Config) (outcome, error) {
+	s.obs.Add(telemetry.CtrServerRequests, 1)
+	key := core.CanonicalKey(ts, cfgs)
+	if raw, ok := s.cache.get(key); ok {
+		s.obs.Add(telemetry.CtrServerCacheHits, 1)
+		return outcome{key: key, raw: raw, cached: true}, nil
+	}
+	s.obs.Add(telemetry.CtrServerCacheMisses, 1)
+	raw, shared, err := s.flight.do(ctx, key, func() (json.RawMessage, error) {
+		return s.compute(key, ts, cfgs)
+	})
+	if shared {
+		s.obs.Add(telemetry.CtrServerCoalesced, 1)
+	}
+	if err != nil {
+		return outcome{key: key}, err
+	}
+	return outcome{key: key, raw: raw, coalesced: shared}, nil
+}
+
+// compute is the flight leader's path: admission, the engine, the
+// cache fill.
+func (s *Server) compute(key string, ts *taskmodel.TaskSet, cfgs []core.Config) (json.RawMessage, error) {
+	// A previous leader may have filled the cache between our lookup
+	// and winning flight leadership.
+	if raw, ok := s.cache.get(key); ok {
+		s.obs.Add(telemetry.CtrServerCacheHits, 1)
+		return raw, nil
+	}
+
+	// Admission: one ticket per request in the building (running or
+	// waiting). No ticket => shed immediately.
+	select {
+	case s.tickets <- struct{}{}:
+		defer func() { <-s.tickets }()
+	default:
+		s.obs.Add(telemetry.CtrServerShed, 1)
+		return nil, errShed
+	}
+
+	// The engine context is detached from any single client: the result
+	// is shared with coalesced followers and the cache. RequestTimeout
+	// still bounds the wait for a worker slot.
+	ctx := context.Background()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.obs.Add(telemetry.CtrServerTimeouts, 1)
+		return nil, ctx.Err()
+	}
+
+	s.obs.Add(telemetry.CtrServerAnalyses, 1)
+	var mu sync.Mutex
+	var failure error
+	out, err := core.AnalyzeBatchOpts(
+		[]core.BatchRequest{{TS: ts, Cfgs: cfgs, Label: "req " + key[:8]}},
+		core.BatchOptions{
+			Workers:  1,
+			Observer: s.obs,
+			Context:  ctx,
+			Isolate:  true,
+			OnFailure: func(i int, label string, err error, stack []byte) {
+				mu.Lock()
+				failure = err
+				mu.Unlock()
+			},
+		})
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	if failure != nil {
+		s.obs.Add(telemetry.CtrServerFailures, 1)
+		return nil, &analysisError{failure}
+	}
+	if len(out) == 0 || out[0] == nil {
+		// The deadline fired before the engine picked the request up.
+		s.obs.Add(telemetry.CtrServerTimeouts, 1)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("server: analysis produced no result")
+	}
+	raw, merr := json.Marshal(out[0])
+	if merr != nil {
+		return nil, merr
+	}
+	s.cache.put(key, raw)
+	return raw, nil
+}
+
+// statusOf maps an analysis error to its HTTP status.
+func statusOf(err error) int {
+	var ae *analysisError
+	switch {
+	case errors.Is(err, errShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &ae):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.opts.RetryAfter.Round(time.Second)/time.Second)))
+	}
+	s.writeJSON(w, status, wireError{Error: err.Error()})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req wireAnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	ts, cfgs, err := req.decode()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	oc, err := s.analyze(r.Context(), ts, cfgs)
+	if err != nil {
+		s.writeError(w, statusOf(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wireAnalyzeResponse{
+		Key: oc.key, Cached: oc.cached, Coalesced: oc.coalesced, Results: oc.raw,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req wireBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	items := make([]wireBatchItem, len(req.Requests))
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ts, cfgs, err := req.Requests[i].decode()
+			if err != nil {
+				items[i] = wireBatchItem{Error: err.Error(), Status: http.StatusBadRequest}
+				return
+			}
+			oc, err := s.analyze(r.Context(), ts, cfgs)
+			if err != nil {
+				items[i] = wireBatchItem{Key: oc.key, Error: err.Error(), Status: statusOf(err)}
+				return
+			}
+			items[i] = wireBatchItem{
+				Key: oc.key, Cached: oc.cached, Coalesced: oc.coalesced, Results: oc.raw,
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.writeJSON(w, http.StatusOK, wireBatchResponse{Results: items})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	counters := map[string]int64{}
+	if s.obs != nil && s.obs.Metrics != nil {
+		counters = s.obs.Metrics.Counters()
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"counters": counters})
+}

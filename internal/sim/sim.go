@@ -24,6 +24,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -88,27 +89,39 @@ type TaskStats struct {
 
 // Percentile returns the p-quantile (0 <= p <= 1) of the observed
 // response times using nearest-rank on the sorted sample; 0 if no job
-// completed.
+// completed. The rank is the smallest r in [1, n] whose empirical CDF
+// value float64(r)/float64(n) covers p, so a p computed as r/n (the
+// common case) maps back to exactly rank r — no epsilon fudge, no
+// misranking when p·n lands near an integer boundary.
 func (s *TaskStats) Percentile(p float64) taskmodel.Time {
 	if len(s.Responses) == 0 {
 		return 0
 	}
 	sorted := append([]taskmodel.Time(nil), s.Responses...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	n := len(sorted)
 	if p <= 0 {
 		return sorted[0]
 	}
 	if p >= 1 {
-		return sorted[len(sorted)-1]
+		return sorted[n-1]
 	}
-	idx := int(p*float64(len(sorted))+0.999999) - 1
-	if idx < 0 {
-		idx = 0
+	r := int(math.Ceil(p * float64(n)))
+	if r < 1 {
+		r = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if r > n {
+		r = n
 	}
-	return sorted[idx]
+	// The product p·n rounds, so correct against the defining
+	// inequality r/n >= p directly; each loop moves at most one rank.
+	for r > 1 && float64(r-1)/float64(n) >= p {
+		r--
+	}
+	for r < n && float64(r)/float64(n) < p {
+		r++
+	}
+	return sorted[r-1]
 }
 
 // MeanResponse returns the average observed response time (0 if no
@@ -431,13 +444,26 @@ func taskNameByPriority(res *Result, prio int) string {
 }
 
 // HorizonForJobs returns a horizon long enough for roughly k jobs of
-// the longest-period task.
+// the longest-period task. A degenerate task set — no bindings, no
+// positive period, or k < 1 — would silently yield a zero horizon and
+// a "simulation" that observes nothing, so it panics with a clear
+// message instead; a horizon that overflows int64 saturates at
+// math.MaxInt64 rather than wrapping negative.
 func HorizonForJobs(tasks []TaskBinding, k int) taskmodel.Time {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: HorizonForJobs: k = %d jobs, need >= 1", k))
+	}
 	var maxT taskmodel.Time
 	for _, b := range tasks {
 		if b.Task.Period > maxT {
 			maxT = b.Task.Period
 		}
+	}
+	if maxT <= 0 {
+		panic("sim: HorizonForJobs: no task with a positive period (a zero horizon would simulate nothing)")
+	}
+	if maxT > math.MaxInt64/taskmodel.Time(k) {
+		return math.MaxInt64
 	}
 	return maxT * taskmodel.Time(k)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -165,6 +166,87 @@ func TestHorizonForJobs(t *testing.T) {
 	b2 := soloBinding(300)
 	if got := HorizonForJobs([]TaskBinding{b1, b2}, 3); got != 900 {
 		t.Errorf("HorizonForJobs = %d, want 900", got)
+	}
+}
+
+// TestHorizonForJobsSaturatesOnOverflow: a horizon beyond int64 clamps
+// to math.MaxInt64 instead of wrapping negative (which Run would then
+// treat as an instantly-finished simulation).
+func TestHorizonForJobsSaturatesOnOverflow(t *testing.T) {
+	huge := soloBinding(math.MaxInt64 / 2)
+	if got := HorizonForJobs([]TaskBinding{huge}, 3); got != math.MaxInt64 {
+		t.Errorf("HorizonForJobs = %d, want saturation at MaxInt64", got)
+	}
+	// The exact boundary still multiplies without saturating.
+	exact := soloBinding(math.MaxInt64 / 3)
+	if got, want := HorizonForJobs([]TaskBinding{exact}, 3), taskmodel.Time(math.MaxInt64/3*3); got != want {
+		t.Errorf("HorizonForJobs = %d, want the exact product %d", got, want)
+	}
+}
+
+// TestHorizonForJobsRejectsDegenerateSets: zero-period-only bindings,
+// empty binding lists and non-positive job counts must fail loudly,
+// not return horizon 0 and a simulation that observes nothing.
+func TestHorizonForJobsRejectsDegenerateSets(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected a panic", name)
+			}
+		}()
+		f()
+	}
+	zero := soloBinding(100)
+	zero.Task = &taskmodel.Task{Name: "degenerate", Period: 0}
+	mustPanic("all-zero periods", func() { HorizonForJobs([]TaskBinding{zero}, 3) })
+	mustPanic("no bindings", func() { HorizonForJobs(nil, 3) })
+	mustPanic("k = 0", func() { HorizonForJobs([]TaskBinding{soloBinding(100)}, 0) })
+}
+
+// TestPercentileNearestRankBoundaries pins the exact nearest-rank
+// contract on the boundary grid of the former float-fudge bug:
+// p ∈ {0, 1/n, 0.5, (n-1)/n, 1} for n ∈ {1, 2, 3, 100}. The samples
+// are 10·rank, so the expected quantile directly names the expected
+// rank.
+func TestPercentileNearestRankBoundaries(t *testing.T) {
+	stats := func(n int) *TaskStats {
+		s := &TaskStats{}
+		// Insert out of order; Percentile sorts a copy.
+		for i := n - 1; i >= 0; i-- {
+			s.Responses = append(s.Responses, taskmodel.Time(10*(i+1)))
+		}
+		return s
+	}
+	rank := func(n int, r int) taskmodel.Time { return taskmodel.Time(10 * r) }
+	for _, tc := range []struct {
+		n    int
+		p    float64
+		want int // expected rank in [1, n]
+	}{
+		{1, 0, 1}, {1, 1.0 / 1, 1}, {1, 0.5, 1}, {1, 0.0 / 1, 1}, {1, 1, 1},
+		{2, 0, 1}, {2, 1.0 / 2, 1}, {2, 0.5, 1}, {2, 1.0 / 2, 1}, {2, 1, 2},
+		{3, 0, 1}, {3, 1.0 / 3, 1}, {3, 0.5, 2}, {3, 2.0 / 3, 2}, {3, 1, 3},
+		{100, 0, 1}, {100, 1.0 / 100, 1}, {100, 0.5, 50}, {100, 99.0 / 100, 99}, {100, 1, 100},
+	} {
+		got := stats(tc.n).Percentile(tc.p)
+		if want := rank(tc.n, tc.want); got != want {
+			t.Errorf("n=%d p=%v: got %d, want rank %d (%d)", tc.n, tc.p, got, tc.want, want)
+		}
+	}
+	// Out-of-range p clamps to the extremes.
+	s := stats(3)
+	if got := s.Percentile(-0.5); got != 10 {
+		t.Errorf("p=-0.5: got %d, want the minimum", got)
+	}
+	if got := s.Percentile(1.5); got != 30 {
+		t.Errorf("p=1.5: got %d, want the maximum", got)
+	}
+	// Just above a rank boundary the next rank must be charged: the
+	// old +0.999999 fudge returned rank 1 here, under-reporting the
+	// quantile.
+	if got := stats(100).Percentile(0.0100001); got != 20 {
+		t.Errorf("p just above 1/100: got %d, want rank 2", got)
 	}
 }
 

@@ -74,6 +74,38 @@ const (
 	// per-job failures instead of aborting the sweep.
 	CtrJobFailures
 
+	// Server counter family (internal/server): admission, the canonical
+	// result cache and in-flight request coalescing of the analysis
+	// daemon. CtrServerRequests counts analysis requests (batch items
+	// count individually); every request resolves to exactly one of
+	// cache hit, coalesced wait, executed analysis, shed, timeout or
+	// failure.
+	CtrServerRequests
+	// CtrServerCacheHits counts requests served from the result cache;
+	// CtrServerCacheMisses counts requests that had to go through the
+	// coalescing map.
+	CtrServerCacheHits
+	CtrServerCacheMisses
+	// CtrServerCacheEvictions counts cache entries dropped by LRU
+	// capacity pressure or TTL expiry.
+	CtrServerCacheEvictions
+	// CtrServerCoalesced counts requests that joined an identical
+	// in-flight computation instead of starting their own.
+	CtrServerCoalesced
+	// CtrServerAnalyses counts engine invocations — the work the cache
+	// and coalescing exist to avoid. Under duplicate load this stays
+	// strictly below CtrServerRequests.
+	CtrServerAnalyses
+	// CtrServerShed counts requests rejected by queue-depth load
+	// shedding (HTTP 429).
+	CtrServerShed
+	// CtrServerTimeouts counts requests that hit the per-request
+	// deadline while queued or canceled before the engine ran.
+	CtrServerTimeouts
+	// CtrServerFailures counts requests whose analysis failed
+	// terminally even after the isolation layer's reference retry.
+	CtrServerFailures
+
 	numCounters
 )
 
@@ -97,6 +129,15 @@ var counterNames = [numCounters]string{
 	CtrPoolMemoMisses:        "pool.memo_misses",
 	CtrJobPanics:             "sweep.job_panics",
 	CtrJobFailures:           "sweep.job_failures",
+	CtrServerRequests:        "server.requests",
+	CtrServerCacheHits:       "server.cache_hits",
+	CtrServerCacheMisses:     "server.cache_misses",
+	CtrServerCacheEvictions:  "server.cache_evictions",
+	CtrServerCoalesced:       "server.coalesced",
+	CtrServerAnalyses:        "server.analyses",
+	CtrServerShed:            "server.shed",
+	CtrServerTimeouts:        "server.timeouts",
+	CtrServerFailures:        "server.failures",
 }
 
 func (c Counter) String() string {
