@@ -8,9 +8,10 @@
 //
 //	buscond -addr 127.0.0.1:8080 -workers 8 -cache-entries 4096
 //
-// Endpoints: POST /v1/analyze, POST /v1/analyze/batch, GET /healthz,
-// GET /metrics, GET /debug/pprof/*. See DESIGN.md §11 and the README
-// quickstart for the wire format.
+// Endpoints: POST /v1/analyze, POST /v1/analyze/batch,
+// POST /v1/analyze/delta, GET /healthz, GET /metrics,
+// GET /debug/pprof/*. See DESIGN.md §11–§12 and the README quickstart
+// for the wire format.
 package main
 
 import (
@@ -41,6 +42,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	queue := fs.Int("queue", 0, "requests allowed to wait for a worker before shedding (0 = 2x workers, negative = none)")
 	cacheEntries := fs.Int("cache-entries", 0, "result cache capacity (0 = 1024, negative = disable caching)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "result cache entry lifetime (0 = no expiry)")
+	memoEntries := fs.Int("memo-entries", 0, "engine table-memo capacity in columns (0 = 4096, negative = disable memoization)")
+	baseEntries := fs.Int("base-entries", 0, "delta base registry capacity (0 = 1024, negative = disable /v1/analyze/delta)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline while queued (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	metrics := fs.Bool("metrics", false, "print the counter summary on exit")
@@ -72,6 +75,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		CacheTTL:       *cacheTTL,
+		MemoEntries:    *memoEntries,
+		BaseEntries:    *baseEntries,
 		RequestTimeout: *timeout,
 		Observer:       obs,
 	})

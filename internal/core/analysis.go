@@ -896,10 +896,10 @@ func Analyze(ts *taskmodel.TaskSet, cfg Config) (*Result, error) {
 // arbiter, the persistence switch or the CPRO approach). Results are
 // returned in cfgs order.
 func AnalyzeAll(ts *taskmodel.TaskSet, cfgs []Config) ([]*Result, error) {
-	return analyzeAllObs(ts, cfgs, nil)
+	return analyzeAllObs(ts, cfgs, nil, nil)
 }
 
-func analyzeAllObs(ts *taskmodel.TaskSet, cfgs []Config, obs *telemetry.Observer) ([]*Result, error) {
+func analyzeAllObs(ts *taskmodel.TaskSet, cfgs []Config, obs *telemetry.Observer, memo *MemoStore) ([]*Result, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -909,6 +909,9 @@ func analyzeAllObs(ts *taskmodel.TaskSet, cfgs []Config, obs *telemetry.Observer
 		tbl, ok := tables[cfg.CRPD]
 		if !ok {
 			tbl = PrecomputeTables(ts, cfg.CRPD)
+			if memo != nil {
+				tbl.setMemo(memo)
+			}
 			tables[cfg.CRPD] = tbl
 		}
 		// The set was validated above and the tables were built from it,

@@ -55,6 +55,14 @@ type BatchOptions struct {
 	// (nil for plain analysis errors). Called from worker goroutines;
 	// must be safe for concurrent use.
 	OnFailure func(i int, label string, err error, stack []byte)
+	// Memo, when non-nil, is a content-addressed column store shared by
+	// every request of the batch (and, if the caller retains it, across
+	// batches): near-duplicate task sets recompute only the table
+	// columns their differences invalidate (see Options.Memo). The
+	// reference retry of the Isolate path deliberately bypasses it —
+	// the retry exists to sidestep engine state, cached columns
+	// included.
+	Memo *MemoStore
 }
 
 // batchFaultHook, when non-nil, runs before every batch analysis
@@ -77,7 +85,7 @@ type panicError struct {
 func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
 
 // analyzeGuarded runs one attempt of a request under recover.
-func analyzeGuarded(req BatchRequest, label string, attempt int, obs *telemetry.Observer) (res []*Result, err error) {
+func analyzeGuarded(req BatchRequest, label string, attempt int, obs *telemetry.Observer, memo *MemoStore) (res []*Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, &panicError{val: r, stack: debug.Stack()}
@@ -87,7 +95,7 @@ func analyzeGuarded(req BatchRequest, label string, attempt int, obs *telemetry.
 		hook(label, attempt)
 	}
 	if attempt == 0 {
-		return analyzeAllObs(req.TS, req.Cfgs, obs)
+		return analyzeAllObs(req.TS, req.Cfgs, obs, memo)
 	}
 	// Reference retry: the retained naive analyzer, config by config.
 	out := make([]*Result, len(req.Cfgs))
@@ -103,14 +111,14 @@ func analyzeGuarded(req BatchRequest, label string, attempt int, obs *telemetry.
 
 // analyzeIsolated is the Isolate path: recover panics, retry once on
 // the reference analyzer, and fold the outcome into (results, error).
-func analyzeIsolated(req BatchRequest, label string, obs *telemetry.Observer) ([]*Result, error) {
-	res, err := analyzeGuarded(req, label, 0, obs)
+func analyzeIsolated(req BatchRequest, label string, obs *telemetry.Observer, memo *MemoStore) ([]*Result, error) {
+	res, err := analyzeGuarded(req, label, 0, obs, memo)
 	pe, panicked := err.(*panicError)
 	if !panicked {
 		return res, err
 	}
 	obs.Add(telemetry.CtrJobPanics, 1)
-	res, rerr := analyzeGuarded(req, label, 1, obs)
+	res, rerr := analyzeGuarded(req, label, 1, obs, nil)
 	if rerr != nil {
 		return nil, fmt.Errorf("%s: %w; reference retry: %v", label, pe, rerr)
 	}
@@ -169,7 +177,7 @@ func AnalyzeBatchOpts(reqs []BatchRequest, opts BatchOptions) ([][]*Result, erro
 					sp = obs.Span(label, "batch")
 				}
 				if opts.Isolate {
-					out[i], errs[i] = analyzeIsolated(reqs[i], label, obs)
+					out[i], errs[i] = analyzeIsolated(reqs[i], label, obs, opts.Memo)
 					if errs[i] != nil {
 						obs.Add(telemetry.CtrJobFailures, 1)
 						if opts.OnFailure != nil {
@@ -184,7 +192,7 @@ func AnalyzeBatchOpts(reqs []BatchRequest, opts BatchOptions) ([][]*Result, erro
 						errs[i] = nil
 					}
 				} else {
-					out[i], errs[i] = analyzeAllObs(reqs[i].TS, reqs[i].Cfgs, obs)
+					out[i], errs[i] = analyzeAllObs(reqs[i].TS, reqs[i].Cfgs, obs, opts.Memo)
 				}
 				if obs.Tracing() {
 					sp.End()

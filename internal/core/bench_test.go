@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/taskgen"
 	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
 )
 
 // Analyzer-level microbenchmarks on the paper's default platform
@@ -109,4 +110,49 @@ func BenchmarkAnalyzeAllSharedTables(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDeltaSweep measures the one-task-perturbed sweep — the
+// near-duplicate workload POST /v1/analyze/delta serves. Each
+// iteration analyzes 16 variants of one task set differing only in a
+// single task's processing demand, under the six-variant config grid:
+// "cold" rebuilds every table column per variant (the pre-memo
+// behavior, reproduced with a fresh store per analysis so the column
+// counts are observable), "memo" shares one content-addressed store
+// across the sweep. The memo_* counters, reported as columns/op, carry
+// the ≥5× recomputation acceptance bar; wall-clock improves with the
+// task-set footprint.
+func BenchmarkDeltaSweep(b *testing.B) {
+	base := benchSet(b, 0.3)
+	cfgs := []Config{
+		{Arbiter: FP}, {Arbiter: FP, Persistence: true},
+		{Arbiter: RR}, {Arbiter: RR, Persistence: true},
+		{Arbiter: TDMA}, {Arbiter: TDMA, Persistence: true},
+	}
+	const steps = 16
+	sweep := make([]*taskmodel.TaskSet, steps)
+	for i := range sweep {
+		sweep[i] = perturbPD(base, len(base.Tasks)/2, taskmodel.Time(i))
+	}
+	run := func(b *testing.B, shared bool) {
+		obs := telemetry.New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var store *MemoStore
+			if shared {
+				store = NewMemoStore(0)
+			}
+			for _, ts := range sweep {
+				if !shared {
+					store = NewMemoStore(0)
+				}
+				if _, err := AnalyzeAllOpts(ts, cfgs, Options{Memo: store, Observer: obs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(obs.Metrics.Get(telemetry.CtrMemoMisses))/float64(b.N), "columns/op")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("memo", func(b *testing.B) { run(b, true) })
 }

@@ -118,6 +118,9 @@ func (tb *Tables) curveSame(ii int, persist bool, obs *telemetry.Observer) []ter
 				defer obs.Span("curves level "+strconv.Itoa(ii)+" same", "curves").End()
 			}
 		}
+		if tb.memo != nil {
+			tb.memoFillGamma(ii, r, tb.tasks[ii].Core, obs)
+		}
 		lc.same = make([]termCurve, len(r.hp))
 		for k, ref := range r.hp {
 			lc.same[k] = termCurve{t: ref.t, p: tb.pair(ii, r, ref.idx), pcb: tb.pcb[ref.idx], idx: int32(ref.idx)}
@@ -127,6 +130,9 @@ func (tb *Tables) curveSame(ii int, persist bool, obs *telemetry.Observer) []ter
 		obs.Add(telemetry.CtrCurveHits, 1)
 	}
 	if persist && !lc.samePersist {
+		if tb.memo != nil {
+			tb.memoFillPersist(ii, r, tb.tasks[ii].Core, false, obs)
+		}
 		for _, ref := range r.hp {
 			tb.pairPersist(ii, r, ref.idx)
 		}
@@ -147,6 +153,9 @@ func (tb *Tables) curveRemote(ii, y int, persist bool, obs *telemetry.Observer) 
 				defer obs.Span("curves level "+strconv.Itoa(ii)+" core "+strconv.Itoa(y), "curves").End()
 			}
 		}
+		if tb.memo != nil {
+			tb.memoFillGamma(ii, r, y, obs)
+		}
 		if lc.flat == nil {
 			lc.flat = make([]termCurve, len(tb.tasks))
 		}
@@ -165,6 +174,9 @@ func (tb *Tables) curveRemote(ii, y int, persist bool, obs *telemetry.Observer) 
 		obs.Add(telemetry.CtrCurveHits, 1)
 	}
 	if persist && !lc.remotePersist[y] {
+		if tb.memo != nil {
+			tb.memoFillPersist(ii, r, y, true, obs)
+		}
 		for _, ref := range r.hep[y] {
 			tb.pairPersist(ii, r, ref.idx)
 		}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/crpd"
+	"repro/internal/persistence"
+	"repro/internal/telemetry"
+)
+
+// Content-addressed table memoization.
+//
+// The interference tables (tables.go) are rebuilt from scratch for
+// every analysis, even though near-duplicate requests — a sweep that
+// perturbs one task, a delta request editing one parameter — share
+// almost all of the underlying set arithmetic. This layer keys the
+// table columns by a digest of the exact task fields they depend on,
+// so any request (concurrent or later) that contains the same column
+// reuses it bit for bit.
+//
+// Unit of sharing. Both the γ column and the CPRO column of a level
+// depend on one core's tasks only through the priority-ordered prefix
+// ending at the level's cutoff: the k = |Γ_y ∩ hep(i)| lowest-priority
+// tasks of core y. Every quantity the tables cache is a pure function
+// of that prefix:
+//
+//   - γ_{i,j,y} (every crpd.Approach) reads the UCB/ECB sets of the
+//     prefix tasks — the evicting union ∪ ECB over hep(j) ∩ Γ_y and the
+//     affected tasks' UCBs are all drawn from it. The level priority i
+//     enters only through the cutoff, with one exception: under
+//     crpd.ECBOnly the last prefix position charges 0 when the analyzed
+//     task is itself that position (it cannot preempt its own level)
+//     but |ECB_j| when the level lives on another core. A selfLast bit
+//     in the key separates the two shapes; for every other approach the
+//     last position is 0 in both shapes and the bit is normalized away.
+//   - The CPRO terms (unionOverlap and the evictor multiset of Eq. 14)
+//     read the ECB/PCB sets and periods of the prefix tasks, and do not
+//     depend on the CRPD approach at all — the persist keys omit it, so
+//     tables built for different approaches share the CPRO columns.
+//   - A lower-priority task's CPRO entry at the level (BAOLow) reads
+//     the prefix plus that task's own ECB/PCB/Period; it is keyed by
+//     the prefix key chained with the task's digest.
+//
+// Per-task digests cover exactly the fields above (gamma: UCB, ECB;
+// persist: ECB, PCB, Period), written through the canonical.go
+// hashWriter so the sub-keys inherit its collision-free field framing.
+// Everything CanonicalKey normalizes away for the whole request is
+// *absent* here rather than normalized: the arbiter, the persistence
+// switch, the CPRO approach and MaxOuterIterations never reach the
+// table values, and the cache geometry enters only through the sets'
+// index contents (associativity — the Ways() normalization — and the
+// block size affect no cached term). Names, priorities, cores,
+// deadlines and the execution/demand scalars (PD, MD, MDr) are
+// likewise excluded, so edits to them invalidate no column. Priority
+// and core placement still shape the columns — through the prefix
+// membership and order the digest sequence encodes — not through
+// their numeric values.
+//
+// The store is safe for concurrent use and computes each column once:
+// the first requester becomes the leader and computes while followers
+// of the same key block on a done channel. A leader that panics drops
+// its entry and re-panics; released followers recompute locally
+// without publishing. Published columns are immutable — the evictor
+// slices are aliased, never copied, into every pairTab that reuses
+// them — and the done-channel close provides the happens-before edge
+// that makes the aliasing race-free.
+
+// memoKey is a content-addressed column identity (SHA-256).
+type memoKey [sha256.Size]byte
+
+// memoColumn is one published column: the γ values and/or CPRO terms
+// of a prefix, indexed by prefix position. A γ column leaves the
+// persist slices nil and vice versa; a single lower-priority entry is
+// a persist column of length one. Immutable after publication.
+type memoColumn struct {
+	gamma        []int64
+	unionOverlap []int64
+	evictors     [][]persistence.EvictorTerm
+}
+
+const memoShards = 16
+
+type memoEntry struct {
+	key memoKey
+	// col is valid only after done is closed; nil then means the
+	// leader's compute failed and the entry was withdrawn.
+	col  *memoColumn
+	done chan struct{}
+}
+
+type memoShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	byKey map[memoKey]*list.Element
+}
+
+// MemoStore is a bounded, sharded, concurrency-safe store of
+// content-addressed table columns, shared across analyses (and, via
+// BatchOptions.Memo, across requests) so that near-duplicate task sets
+// recompute only the columns their edits actually invalidate.
+type MemoStore struct {
+	shards [memoShards]memoShard
+	// perCap bounds each shard's entry count (total/memoShards).
+	perCap int
+}
+
+// NewMemoStore returns a store bounded to roughly maxEntries columns
+// (rounded up to the shard granularity), evicted LRU per shard.
+// maxEntries <= 0 selects a default sized for sweep workloads.
+func NewMemoStore(maxEntries int) *MemoStore {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	perCap := (maxEntries + memoShards - 1) / memoShards
+	if perCap < 1 {
+		perCap = 1
+	}
+	m := &MemoStore{perCap: perCap}
+	for i := range m.shards {
+		m.shards[i].ll = list.New()
+		m.shards[i].byKey = make(map[memoKey]*list.Element)
+	}
+	return m
+}
+
+// getOrCompute returns the column for key, computing and publishing it
+// via compute if absent. Concurrent callers of the same key compute it
+// once: followers block until the leader publishes. obs (nil-safe)
+// receives core.memo_* counters: a hit for a published column, a wait
+// for joining an in-flight computation, a miss for every actual
+// compute invocation, an eviction per capacity drop.
+func (m *MemoStore) getOrCompute(key memoKey, obs *telemetry.Observer, compute func() *memoColumn) *memoColumn {
+	sh := &m.shards[key[0]&(memoShards-1)]
+	sh.mu.Lock()
+	if ele, ok := sh.byKey[key]; ok {
+		ent := ele.Value.(*memoEntry)
+		sh.ll.MoveToFront(ele)
+		sh.mu.Unlock()
+		select {
+		case <-ent.done:
+			obs.Add(telemetry.CtrMemoHits, 1)
+		default:
+			obs.Add(telemetry.CtrMemoWaits, 1)
+			<-ent.done
+		}
+		if ent.col != nil {
+			return ent.col
+		}
+		// The leader failed and withdrew the entry; compute locally
+		// without publishing (a later request elects a fresh leader).
+		obs.Add(telemetry.CtrMemoMisses, 1)
+		return compute()
+	}
+	ent := &memoEntry{key: key, done: make(chan struct{})}
+	ele := sh.ll.PushFront(ent)
+	sh.byKey[key] = ele
+	for sh.ll.Len() > m.perCap {
+		tail := sh.ll.Back()
+		if tail == ele {
+			break
+		}
+		sh.ll.Remove(tail)
+		delete(sh.byKey, tail.Value.(*memoEntry).key)
+		obs.Add(telemetry.CtrMemoEvictions, 1)
+	}
+	sh.mu.Unlock()
+
+	obs.Add(telemetry.CtrMemoMisses, 1)
+	var col *memoColumn
+	defer func() {
+		// Publish-or-withdraw runs even when compute panics: col stays
+		// nil, the entry is removed so the key is not poisoned, and the
+		// close releases any followers before the panic propagates.
+		ent.col = col
+		if col == nil {
+			sh.mu.Lock()
+			if cur, ok := sh.byKey[key]; ok && cur.Value.(*memoEntry) == ent {
+				sh.ll.Remove(cur)
+				delete(sh.byKey, key)
+			}
+			sh.mu.Unlock()
+		}
+		close(ent.done)
+	}()
+	col = compute()
+	return col
+}
+
+// Len reports the number of resident columns (racy snapshot; tests
+// and capacity diagnostics only).
+func (m *MemoStore) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// setMemo attaches the shared column store (and the observer the lazy
+// fills report to). Must be called before the first analysis touches
+// the tables.
+func (tb *Tables) setMemo(m *MemoStore) { tb.memo = m }
+
+// digests lazily computes the per-task field digests the column keys
+// are assembled from. One pass per Tables; the cost is linear in the
+// total cache-set footprint.
+func (tb *Tables) digests() {
+	if tb.gammaDig != nil {
+		return
+	}
+	tb.gammaDig = make([]memoKey, len(tb.tasks))
+	tb.persistDig = make([]memoKey, len(tb.tasks))
+	for i, t := range tb.tasks {
+		w := &hashWriter{h: sha256.New()}
+		w.str("buscon/memo/task-gamma/v1")
+		w.set(t.UCB)
+		w.set(t.ECB)
+		w.h.Sum(tb.gammaDig[i][:0])
+
+		w = &hashWriter{h: sha256.New()}
+		w.str("buscon/memo/task-persist/v1")
+		w.set(t.ECB)
+		w.set(t.PCB)
+		w.i64(int64(t.Period))
+		w.h.Sum(tb.persistDig[i][:0])
+	}
+}
+
+// colKey flavors, part of the cached-key identity.
+const (
+	colGamma = iota
+	colGammaSelfLast
+	colPersist
+)
+
+// colKey returns (building and caching on first use) the
+// content-addressed key of core y's column at cutoff k under the given
+// flavor. The key hashes the ordered digest sequence of the prefix —
+// order matters: the running evicting unions and the affected-task
+// sets are positional.
+func (tb *Tables) colKey(y, k, flavor int) memoKey {
+	ck := uint64(y)<<34 | uint64(k)<<2 | uint64(flavor)
+	if key, ok := tb.colKeys[ck]; ok {
+		return key
+	}
+	w := &hashWriter{h: sha256.New()}
+	tb.digests()
+	var dig []memoKey
+	switch flavor {
+	case colGamma, colGammaSelfLast:
+		w.str("buscon/memo/gamma-col/v1")
+		w.i64(int64(tb.crpd))
+		w.boolean(flavor == colGammaSelfLast)
+		dig = tb.gammaDig
+	case colPersist:
+		w.str("buscon/memo/persist-col/v1")
+		dig = tb.persistDig
+	}
+	w.u64(uint64(k))
+	for _, ref := range tb.byCore[y][:k] {
+		w.h.Write(dig[ref.idx][:])
+	}
+	var key memoKey
+	w.h.Sum(key[:0])
+	if tb.colKeys == nil {
+		tb.colKeys = make(map[uint64]memoKey)
+	}
+	tb.colKeys[ck] = key
+	return key
+}
+
+// gammaFlavor returns the γ-column flavor for level ii on core y: the
+// selfLast shape is only distinguishable under crpd.ECBOnly (see the
+// package comment), so it is normalized away otherwise to maximize
+// sharing.
+func (tb *Tables) gammaFlavor(ii, y int) int {
+	if tb.crpd == crpd.ECBOnly && tb.tasks[ii].Core == y {
+		return colGammaSelfLast
+	}
+	return colGamma
+}
+
+// memoFillGamma populates the γ entries of level ii's pair column on
+// core y from the shared store, computing the column once per content
+// key. Positions already built (by the per-pair path) are left
+// untouched; the memoized values are bit-identical by construction —
+// both paths run the same computeGamma.
+func (tb *Tables) memoFillGamma(ii int, r *row, y int, obs *telemetry.Observer) {
+	prefix := r.hep[y]
+	k := len(prefix)
+	if k == 0 {
+		return
+	}
+	key := tb.colKey(y, k, tb.gammaFlavor(ii, y))
+	col := tb.memo.getOrCompute(key, obs, func() *memoColumn {
+		c := &memoColumn{gamma: make([]int64, k)}
+		for pos, ref := range prefix {
+			c.gamma[pos] = tb.computeGamma(ii, ref.idx)
+		}
+		return c
+	})
+	for pos, ref := range prefix {
+		p := &r.pair[ref.idx]
+		if !p.gammaBuilt {
+			p.gamma = col.gamma[pos]
+			p.gammaBuilt = true
+		}
+	}
+}
+
+// memoFillPersist populates the CPRO entries of level ii's pair column
+// on core y — the hep prefix from the shared per-prefix column, the
+// lower-priority tasks (withLow) from chained single-task entries.
+func (tb *Tables) memoFillPersist(ii int, r *row, y int, withLow bool, obs *telemetry.Observer) {
+	prefix := r.hep[y]
+	k := len(prefix)
+	if k > 0 {
+		key := tb.colKey(y, k, colPersist)
+		col := tb.memo.getOrCompute(key, obs, func() *memoColumn {
+			c := &memoColumn{
+				unionOverlap: make([]int64, k),
+				evictors:     make([][]persistence.EvictorTerm, k),
+			}
+			for pos, ref := range prefix {
+				c.unionOverlap[pos], c.evictors[pos] = tb.computePersist(prefix, ref.idx)
+			}
+			return c
+		})
+		for pos, ref := range prefix {
+			p := &r.pair[ref.idx]
+			if !p.persistBuilt {
+				p.unionOverlap = col.unionOverlap[pos]
+				p.evictors = col.evictors[pos]
+				p.persistBuilt = true
+			}
+		}
+	}
+	if !withLow {
+		return
+	}
+	for _, ref := range r.lp[y] {
+		p := &r.pair[ref.idx]
+		if p.persistBuilt {
+			continue
+		}
+		key := tb.lpKey(y, k, ref.idx)
+		jj := ref.idx
+		col := tb.memo.getOrCompute(key, obs, func() *memoColumn {
+			uo, ev := tb.computePersist(prefix, jj)
+			return &memoColumn{
+				unionOverlap: []int64{uo},
+				evictors:     [][]persistence.EvictorTerm{ev},
+			}
+		})
+		p.unionOverlap = col.unionOverlap[0]
+		p.evictors = col.evictors[0]
+		p.persistBuilt = true
+	}
+}
+
+// lpKey keys one lower-priority task's CPRO entry against core y's
+// cutoff-k prefix: the prefix persist key chained with the task's own
+// persist digest.
+func (tb *Tables) lpKey(y, k, jj int) memoKey {
+	var pk memoKey
+	if k > 0 {
+		pk = tb.colKey(y, k, colPersist)
+	} else {
+		tb.digests()
+	}
+	w := &hashWriter{h: sha256.New()}
+	w.str("buscon/memo/persist-lp/v1")
+	w.h.Write(pk[:])
+	w.h.Write(tb.persistDig[jj][:])
+	var key memoKey
+	w.h.Sum(key[:0])
+	return key
+}

@@ -15,6 +15,13 @@ type Options struct {
 	// keeps the hot path uninstrumented; the inner loop stays
 	// allocation-free (pinned by TestResponseTimeZeroAlloc).
 	Observer *telemetry.Observer
+	// Memo, when non-nil, is a shared content-addressed column store
+	// (memo.go): the interference tables fill their columns from it,
+	// so near-duplicate task sets analyzed against the same store
+	// recompute only the columns their differences invalidate. The
+	// store is safe for concurrent use across analyses. nil — the
+	// default — computes every column locally, exactly as before.
+	Memo *MemoStore
 }
 
 // SetObserver attaches (or, with nil, detaches) a telemetry observer.
@@ -33,7 +40,7 @@ func AnalyzeOpts(ts *taskmodel.TaskSet, cfg Config, opts Options) (*Result, erro
 
 // AnalyzeAllOpts is AnalyzeAll with options.
 func AnalyzeAllOpts(ts *taskmodel.TaskSet, cfgs []Config, opts Options) ([]*Result, error) {
-	return analyzeAllObs(ts, cfgs, opts.Observer)
+	return analyzeAllObs(ts, cfgs, opts.Observer, opts.Memo)
 }
 
 // label is the variant name used in spans and logs, matching the

@@ -112,6 +112,15 @@ type Tables struct {
 	// scratch collects evictor ECBs during pair fills without
 	// reallocating.
 	scratch []cacheset.Set
+
+	// memo, when non-nil, is the shared content-addressed column store
+	// (memo.go): the curve builds fill whole pair columns from it
+	// instead of computing per pair. gammaDig/persistDig/colKeys cache
+	// the per-task digests and assembled column keys.
+	memo       *MemoStore
+	gammaDig   []memoKey
+	persistDig []memoKey
+	colKeys    map[uint64]memoKey
 }
 
 // PrecomputeTables prepares lazily-filled interference tables for the
@@ -217,31 +226,38 @@ func (tb *Tables) row(ii int) *row {
 func (tb *Tables) pair(ii int, r *row, jj int) *pairTab {
 	p := &r.pair[jj]
 	if !p.gammaBuilt {
-		ti, tj := tb.tasks[ii], tb.tasks[jj]
-		switch {
-		case tj.Priority >= ti.Priority:
-			p.gamma = 0 // τ_j cannot preempt level i
-		case tb.crpd == crpd.ECBUnion:
-			ecbs := tb.hepEcb(jj)
-			var worst int64
-			for _, g := range tb.byCore[tj.Core] {
-				if g.t.Priority <= tj.Priority {
-					continue // evictor, not affected
-				}
-				if g.t.Priority > ti.Priority {
-					break // byCore is priority-ascending
-				}
-				if c := int64(g.t.UCB.IntersectCount(ecbs)); c > worst {
-					worst = c
-				}
-			}
-			p.gamma = worst
-		default:
-			p.gamma = crpd.Gamma(tb.ts, tb.crpd, ti.Priority, tj.Priority, tj.Core)
-		}
+		p.gamma = tb.computeGamma(ii, jj)
 		p.gammaBuilt = true
 	}
 	return p
+}
+
+// computeGamma evaluates γ_{ii,jj,core(jj)} directly — the shared body
+// of the per-pair fill and the memoized column builds, so both paths
+// produce bit-identical values.
+func (tb *Tables) computeGamma(ii, jj int) int64 {
+	ti, tj := tb.tasks[ii], tb.tasks[jj]
+	switch {
+	case tj.Priority >= ti.Priority:
+		return 0 // τ_j cannot preempt level i
+	case tb.crpd == crpd.ECBUnion:
+		ecbs := tb.hepEcb(jj)
+		var worst int64
+		for _, g := range tb.byCore[tj.Core] {
+			if g.t.Priority <= tj.Priority {
+				continue // evictor, not affected
+			}
+			if g.t.Priority > ti.Priority {
+				break // byCore is priority-ascending
+			}
+			if c := int64(g.t.UCB.IntersectCount(ecbs)); c > worst {
+				worst = c
+			}
+		}
+		return worst
+	default:
+		return crpd.Gamma(tb.ts, tb.crpd, ti.Priority, tj.Priority, tj.Core)
+	}
 }
 
 // pairPersist additionally fills the CPRO overlap columns. The evictor
@@ -253,8 +269,18 @@ func (tb *Tables) pairPersist(ii int, r *row, jj int) *pairTab {
 	if p.persistBuilt {
 		return p
 	}
+	p.unionOverlap, p.evictors = tb.computePersist(r.hep[tb.tasks[jj].Core], jj)
+	p.persistBuilt = true
+	return p
+}
+
+// computePersist evaluates task jj's CPRO terms against the evictor
+// prefix hep — the shared body of the per-pair fill and the memoized
+// column builds. The evictor slice is only allocated when the union
+// overlap is positive, exactly as the original per-pair fill did, so
+// memoized and direct entries are bit-identical.
+func (tb *Tables) computePersist(hep []taskRef, jj int) (int64, []persistence.EvictorTerm) {
 	tj := tb.tasks[jj]
-	hep := r.hep[tj.Core]
 	tb.scratch = tb.scratch[:0]
 	for _, s := range hep {
 		if s.idx == jj {
@@ -262,20 +288,20 @@ func (tb *Tables) pairPersist(ii int, r *row, jj int) *pairTab {
 		}
 		tb.scratch = append(tb.scratch, s.t.ECB)
 	}
-	p.unionOverlap = int64(tj.PCB.IntersectCountUnion(tb.scratch...))
-	if p.unionOverlap > 0 {
-		p.evictors = make([]persistence.EvictorTerm, 0, len(tb.scratch))
+	unionOverlap := int64(tj.PCB.IntersectCountUnion(tb.scratch...))
+	var evictors []persistence.EvictorTerm
+	if unionOverlap > 0 {
+		evictors = make([]persistence.EvictorTerm, 0, len(tb.scratch))
 		for _, s := range hep {
 			if s.idx == jj {
 				continue
 			}
 			if ov := int64(tj.PCB.IntersectCount(s.t.ECB)); ov > 0 {
-				p.evictors = append(p.evictors, persistence.EvictorTerm{Period: s.t.Period, Overlap: ov})
+				evictors = append(evictors, persistence.EvictorTerm{Period: s.t.Period, Overlap: ov})
 			}
 		}
 	}
-	p.persistBuilt = true
-	return p
+	return unionOverlap, evictors
 }
 
 // compatible reports whether the tables, built for their original task

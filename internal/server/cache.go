@@ -10,8 +10,14 @@ import (
 )
 
 // resultCache is a bounded LRU of marshaled analysis results keyed by
-// the canonical request key. Entries carry an optional TTL; an expired
-// entry is treated as absent and evicted on the lookup that finds it.
+// the canonical request key. Entries carry an optional TTL with
+// half-open semantics: an entry is live strictly before its expiry
+// instant and expired at t >= expires. Expired entries are treated as
+// absent — dropped by the lookup that finds one, and swept from the
+// LRU tail on every put so an idle daemon does not pin dead bytes
+// behind fresh traffic. Expiries count on server.cache_expiries;
+// server.cache_evictions is reserved for capacity pressure, so the two
+// signals (cache too small vs results aged out) stay distinguishable.
 // Storing the serialized bytes (rather than the Result values) keeps
 // cached responses byte-identical to the first computation.
 type resultCache struct {
@@ -50,9 +56,9 @@ func (c *resultCache) get(key string) (json.RawMessage, bool) {
 		return nil, false
 	}
 	ent := ele.Value.(*cacheEntry)
-	if c.ttl > 0 && c.now().After(ent.expires) {
+	if c.ttl > 0 && !c.now().Before(ent.expires) {
 		c.removeLocked(ele)
-		c.obs.Add(telemetry.CtrServerCacheEvictions, 1)
+		c.obs.Add(telemetry.CtrServerCacheExpiries, 1)
 		return nil, false
 	}
 	c.ll.MoveToFront(ele)
@@ -66,8 +72,10 @@ func (c *resultCache) put(key string, raw json.RawMessage) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var expires time.Time
+	var now time.Time
 	if c.ttl > 0 {
-		expires = c.now().Add(c.ttl)
+		now = c.now()
+		expires = now.Add(c.ttl)
 	}
 	if ele, ok := c.byKey[key]; ok {
 		ent := ele.Value.(*cacheEntry)
@@ -76,6 +84,22 @@ func (c *resultCache) put(key string, raw json.RawMessage) {
 		return
 	}
 	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, raw: raw, expires: expires})
+	// Sweep expired entries from the cold end first — they are dead
+	// regardless of capacity, and sweeping them here keeps an idle
+	// daemon's memory bounded by its live results rather than its
+	// historical peak. The sweep stops at the first live tail entry:
+	// anything further in was touched more recently, and the uniform
+	// TTL makes a stale-but-live tail a fine place to stop.
+	if c.ttl > 0 {
+		for c.ll.Len() > 0 {
+			tail := c.ll.Back()
+			if now.Before(tail.Value.(*cacheEntry).expires) {
+				break
+			}
+			c.removeLocked(tail)
+			c.obs.Add(telemetry.CtrServerCacheExpiries, 1)
+		}
+	}
 	for c.ll.Len() > c.max {
 		c.removeLocked(c.ll.Back())
 		c.obs.Add(telemetry.CtrServerCacheEvictions, 1)

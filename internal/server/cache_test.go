@@ -54,8 +54,11 @@ func TestCacheTTLExpiry(t *testing.T) {
 	if _, ok := c.get("k"); ok {
 		t.Error("entry survived past its TTL")
 	}
-	if got := obs.Metrics.Get(telemetry.CtrServerCacheEvictions); got != 1 {
-		t.Errorf("server.cache_evictions = %d, want 1 for the expiry", got)
+	if got := obs.Metrics.Get(telemetry.CtrServerCacheExpiries); got != 1 {
+		t.Errorf("server.cache_expiries = %d, want 1 for the expiry", got)
+	}
+	if got := obs.Metrics.Get(telemetry.CtrServerCacheEvictions); got != 0 {
+		t.Errorf("server.cache_evictions = %d, want 0: a TTL expiry is not capacity pressure", got)
 	}
 	if c.len() != 0 {
 		t.Errorf("len = %d after expiry, want 0", c.len())
@@ -66,6 +69,57 @@ func TestCacheTTLExpiry(t *testing.T) {
 	now = now.Add(30 * time.Second)
 	if raw, ok := c.get("k"); !ok || string(raw) != `"V2"` {
 		t.Errorf("refreshed entry = %q ok=%v", raw, ok)
+	}
+}
+
+// TestCacheTTLBoundary pins the expiry contract: an entry is live
+// strictly before its expiry instant and dead at exactly t = expires.
+// The previous comparison (After) served entries at the boundary
+// instant — observable with coarse clocks and with TTLs aligned to
+// scheduler ticks.
+func TestCacheTTLBoundary(t *testing.T) {
+	obs := telemetry.New()
+	now := time.Unix(1000, 0)
+	c := newResultCache(8, time.Minute, func() time.Time { return now }, obs)
+
+	c.put("k", json.RawMessage(`"V"`))
+	now = now.Add(time.Minute - time.Nanosecond)
+	if _, ok := c.get("k"); !ok {
+		t.Error("entry dead one tick before its expiry instant")
+	}
+	now = now.Add(time.Nanosecond) // exactly t = expires
+	if _, ok := c.get("k"); ok {
+		t.Error("entry served at exactly its expiry instant; contract is t >= expires => expired")
+	}
+	if got := obs.Metrics.Get(telemetry.CtrServerCacheExpiries); got != 1 {
+		t.Errorf("server.cache_expiries = %d, want 1", got)
+	}
+}
+
+// TestCachePutSweepsExpiredTail pins the idle-memory fix: entries that
+// expired without ever being looked up again are removed by the next
+// put, not pinned until capacity pressure reaches them.
+func TestCachePutSweepsExpiredTail(t *testing.T) {
+	obs := telemetry.New()
+	now := time.Unix(1000, 0)
+	c := newResultCache(64, time.Minute, func() time.Time { return now }, obs)
+
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("old%d", i), json.RawMessage(`0`))
+	}
+	now = now.Add(2 * time.Minute) // all five are now dead, none looked up
+	c.put("fresh", json.RawMessage(`1`))
+	if got := c.len(); got != 1 {
+		t.Errorf("len = %d after put past the TTL, want 1 (dead tail swept)", got)
+	}
+	if got := obs.Metrics.Get(telemetry.CtrServerCacheExpiries); got != 5 {
+		t.Errorf("server.cache_expiries = %d, want 5 swept entries", got)
+	}
+	if got := obs.Metrics.Get(telemetry.CtrServerCacheEvictions); got != 0 {
+		t.Errorf("server.cache_evictions = %d, want 0: the sweep is not capacity pressure", got)
+	}
+	if _, ok := c.get("fresh"); !ok {
+		t.Error("fresh entry lost by the sweep")
 	}
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"sync"
 )
 
@@ -22,6 +23,9 @@ type flightCall struct {
 	done chan struct{}
 	raw  json.RawMessage
 	err  error
+	// waiters counts followers that joined this call; guarded by the
+	// group mutex. Tests use it to sequence follower registration.
+	waiters int
 }
 
 func newFlightGroup() *flightGroup {
@@ -34,6 +38,7 @@ func newFlightGroup() *flightGroup {
 func (g *flightGroup) do(ctx context.Context, key string, fn func() (json.RawMessage, error)) (raw json.RawMessage, shared bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
+		c.waiters++
 		g.mu.Unlock()
 		select {
 		case <-c.done:
@@ -46,11 +51,24 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (json.RawMes
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// The unwind always removes the in-flight entry and closes done —
+	// including when fn panics. Skipping it there would poison the key
+	// (no future caller could ever become leader) and leave every
+	// follower blocked forever. A panicking leader hands followers an
+	// error and re-panics so its own stack still unwinds loudly.
+	defer func() {
+		r := recover()
+		if r != nil {
+			c.raw, c.err = nil, fmt.Errorf("server: coalesced computation panicked: %v", r)
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
 	c.raw, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
 	return c.raw, false, c.err
 }

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestFlightLeaderPanicReleasesFollowers pins the singleflight failure
+// contract: a leader whose computation panics must hand every waiting
+// follower an error instead of leaving them blocked on a never-closed
+// channel, must re-panic so its own failure stays loud, and must leave
+// the key vacant so the next caller can lead a fresh computation.
+func TestFlightLeaderPanicReleasesFollowers(t *testing.T) {
+	g := newFlightGroup()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate out of do")
+			}
+		}()
+		_, _, _ = g.do(context.Background(), "k", func() (json.RawMessage, error) {
+			close(entered)
+			<-release
+			panic("injected")
+		})
+	}()
+	<-entered // the entry is registered and the leader parked in fn
+
+	type res struct {
+		shared bool
+		err    error
+	}
+	followerDone := make(chan res, 1)
+	go func() {
+		_, shared, err := g.do(context.Background(), "k", func() (json.RawMessage, error) {
+			t.Error("follower ran its own computation while the leader was in flight")
+			return nil, nil
+		})
+		followerDone <- res{shared, err}
+	}()
+	// Release the leader only once the follower is provably parked on
+	// the in-flight call: the waiter count increments, under the group
+	// mutex, before the follower blocks on done.
+	for {
+		g.mu.Lock()
+		c, ok := g.m["k"]
+		waiters := 0
+		if ok {
+			waiters = c.waiters
+		}
+		g.mu.Unlock()
+		if !ok {
+			t.Fatal("in-flight entry vanished while the leader was parked")
+		}
+		if waiters == 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	<-leaderDone
+
+	got := <-followerDone
+	if got.err == nil {
+		t.Fatal("follower received a nil error from a panicked leader")
+	}
+	if !strings.Contains(got.err.Error(), "panicked") {
+		t.Errorf("follower error %q does not identify the panic", got.err)
+	}
+	if !got.shared {
+		t.Error("follower result not marked shared")
+	}
+
+	// The key must not be poisoned: the next caller becomes a fresh
+	// leader and its result flows normally.
+	raw, shared, err := g.do(context.Background(), "k", func() (json.RawMessage, error) {
+		return json.RawMessage(`"fresh"`), nil
+	})
+	if err != nil || shared || string(raw) != `"fresh"` {
+		t.Errorf("post-panic call: raw=%s shared=%v err=%v; want a fresh uncoalesced success", raw, shared, err)
+	}
+	g.mu.Lock()
+	if len(g.m) != 0 {
+		t.Errorf("flight map holds %d entries after completion, want 0", len(g.m))
+	}
+	g.mu.Unlock()
+}

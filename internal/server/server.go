@@ -18,6 +18,7 @@
 //
 //	POST /v1/analyze        one task set under a list of configurations
 //	POST /v1/analyze/batch  several of the above in one round trip
+//	POST /v1/analyze/delta  a recent request's key plus a list of edits
 //	GET  /healthz           liveness (503 while draining)
 //	GET  /metrics           telemetry counters as JSON
 //	GET  /debug/pprof/*     standard pprof handlers
@@ -59,6 +60,15 @@ type Options struct {
 	// CacheTTL expires cache entries; 0 keeps them until evicted by
 	// capacity.
 	CacheTTL time.Duration
+	// MemoEntries bounds the engine's content-addressed table memo
+	// shared across requests (the delta fast path). 0 selects the
+	// engine default (4096 columns); a negative value disables
+	// memoization.
+	MemoEntries int
+	// BaseEntries bounds the registry of recently analyzed requests
+	// addressable as delta bases. 0 selects 1024; a negative value
+	// disables /v1/analyze/delta (every base lookup 404s).
+	BaseEntries int
 	// RequestTimeout bounds how long a request may wait for a worker
 	// slot and cancels the engine between requests. A running analysis
 	// is never preempted mid-fixed-point — its runtime is bounded by
@@ -81,6 +91,8 @@ type Server struct {
 	obs      *telemetry.Observer
 	cache    *resultCache
 	flight   *flightGroup
+	memo     *core.MemoStore // nil when MemoEntries < 0
+	bases    *baseRegistry
 	sem      chan struct{} // worker slots
 	tickets  chan struct{} // worker slots + waiting room; full => shed
 	mux      *http.ServeMux
@@ -110,17 +122,30 @@ func New(opts Options) *Server {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
+	switch {
+	case opts.BaseEntries < 0:
+		opts.BaseEntries = 0
+	case opts.BaseEntries == 0:
+		opts.BaseEntries = 1024
+	}
+	var memo *core.MemoStore
+	if opts.MemoEntries >= 0 {
+		memo = core.NewMemoStore(opts.MemoEntries)
+	}
 	s := &Server{
 		opts:    opts,
 		obs:     opts.Observer,
 		cache:   newResultCache(opts.CacheEntries, opts.CacheTTL, opts.Now, opts.Observer),
 		flight:  newFlightGroup(),
+		memo:    memo,
+		bases:   newBaseRegistry(opts.BaseEntries),
 		sem:     make(chan struct{}, opts.Workers),
 		tickets: make(chan struct{}, opts.Workers+opts.QueueDepth),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze/batch", s.handleBatch)
+	mux.HandleFunc("/v1/analyze/delta", s.handleDelta)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -165,6 +190,9 @@ type outcome struct {
 func (s *Server) analyze(ctx context.Context, ts *taskmodel.TaskSet, cfgs []core.Config) (outcome, error) {
 	s.obs.Add(telemetry.CtrServerRequests, 1)
 	key := core.CanonicalKey(ts, cfgs)
+	// Every analyzed request is addressable as a delta base — including
+	// the edited sets produced by deltas themselves, so sweeps chain.
+	s.bases.put(key, ts, cfgs)
 	if raw, ok := s.cache.get(key); ok {
 		s.obs.Add(telemetry.CtrServerCacheHits, 1)
 		return outcome{key: key, raw: raw, cached: true}, nil
@@ -229,6 +257,7 @@ func (s *Server) compute(key string, ts *taskmodel.TaskSet, cfgs []core.Config) 
 			Observer: s.obs,
 			Context:  ctx,
 			Isolate:  true,
+			Memo:     s.memo,
 			OnFailure: func(i int, label string, err error, stack []byte) {
 				mu.Lock()
 				failure = err

@@ -129,25 +129,35 @@ func (r *wireAnalyzeRequest) decode() (*taskmodel.TaskSet, []core.Config, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(r.Configs) == 0 {
-		return nil, nil, fmt.Errorf("missing configs (need at least one)")
+	cfgs, err := parseConfigs(r.Configs)
+	if err != nil {
+		return nil, nil, err
 	}
-	cfgs := make([]core.Config, len(r.Configs))
-	for i, wc := range r.Configs {
+	return ts, cfgs, nil
+}
+
+// parseConfigs maps the wire configurations to engine configurations;
+// shared by the analyze, batch and delta decoders.
+func parseConfigs(wcs []wireConfig) ([]core.Config, error) {
+	if len(wcs) == 0 {
+		return nil, fmt.Errorf("missing configs (need at least one)")
+	}
+	cfgs := make([]core.Config, len(wcs))
+	for i, wc := range wcs {
 		arb, err := parseArbiter(wc.Arbiter)
 		if err != nil {
-			return nil, nil, fmt.Errorf("config %d: %w", i, err)
+			return nil, fmt.Errorf("config %d: %w", i, err)
 		}
 		crpdAp, err := parseCRPD(wc.CRPD)
 		if err != nil {
-			return nil, nil, fmt.Errorf("config %d: %w", i, err)
+			return nil, fmt.Errorf("config %d: %w", i, err)
 		}
 		cproAp, err := parseCPRO(wc.CPRO)
 		if err != nil {
-			return nil, nil, fmt.Errorf("config %d: %w", i, err)
+			return nil, fmt.Errorf("config %d: %w", i, err)
 		}
 		if wc.MaxOuterIterations < 0 {
-			return nil, nil, fmt.Errorf("config %d: negative max_outer_iterations", i)
+			return nil, fmt.Errorf("config %d: negative max_outer_iterations", i)
 		}
 		cfgs[i] = core.Config{
 			Arbiter: arb, Persistence: wc.Persistence,
@@ -155,5 +165,5 @@ func (r *wireAnalyzeRequest) decode() (*taskmodel.TaskSet, []core.Config, error)
 			MaxOuterIterations: wc.MaxOuterIterations,
 		}
 	}
-	return ts, cfgs, nil
+	return cfgs, nil
 }

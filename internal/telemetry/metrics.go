@@ -64,6 +64,17 @@ const (
 	// per-geometry memo cache; CtrPoolMemoMisses counts cold extractions.
 	CtrPoolMemoHits
 	CtrPoolMemoMisses
+	// Content-addressed table memo family (core.MemoStore): per-
+	// (core-column, priority-cutoff) interference-table units shared
+	// across analyses and requests. CtrMemoHits counts lookups served
+	// by a published column, CtrMemoWaits lookups that joined an
+	// in-flight computation of the same sub-key, CtrMemoMisses actual
+	// column computations (the work the store exists to avoid), and
+	// CtrMemoEvictions columns dropped by capacity pressure.
+	CtrMemoHits
+	CtrMemoWaits
+	CtrMemoMisses
+	CtrMemoEvictions
 	// CtrJobPanics counts sweep jobs whose analysis (or generation)
 	// panicked and was recovered by the isolation layer. A panicking
 	// job is retried once on the naive reference analyzer; only the
@@ -87,8 +98,12 @@ const (
 	CtrServerCacheHits
 	CtrServerCacheMisses
 	// CtrServerCacheEvictions counts cache entries dropped by LRU
-	// capacity pressure or TTL expiry.
+	// capacity pressure; CtrServerCacheExpiries counts entries dropped
+	// because their TTL elapsed (discovered on get or swept during
+	// put). The two are distinct signals: evictions indicate the cache
+	// is too small, expiries only that results aged out.
 	CtrServerCacheEvictions
+	CtrServerCacheExpiries
 	// CtrServerCoalesced counts requests that joined an identical
 	// in-flight computation instead of starting their own.
 	CtrServerCoalesced
@@ -105,6 +120,15 @@ const (
 	// CtrServerFailures counts requests whose analysis failed
 	// terminally even after the isolation layer's reference retry.
 	CtrServerFailures
+	// Delta endpoint family (POST /v1/analyze/delta): incremental
+	// analysis requests phrased as a base canonical key plus edits.
+	// CtrServerDeltaRequests counts delta requests,
+	// CtrServerDeltaBaseMisses those whose base key was not in the
+	// base registry (the client must re-POST the full request), and
+	// CtrServerDeltaEdits the individual edits applied.
+	CtrServerDeltaRequests
+	CtrServerDeltaBaseMisses
+	CtrServerDeltaEdits
 
 	numCounters
 )
@@ -127,17 +151,25 @@ var counterNames = [numCounters]string{
 	CtrAbortBusOverload:      "abort.bus_overload",
 	CtrPoolMemoHits:          "pool.memo_hits",
 	CtrPoolMemoMisses:        "pool.memo_misses",
+	CtrMemoHits:              "core.memo_hits",
+	CtrMemoWaits:             "core.memo_waits",
+	CtrMemoMisses:            "core.memo_misses",
+	CtrMemoEvictions:         "core.memo_evictions",
 	CtrJobPanics:             "sweep.job_panics",
 	CtrJobFailures:           "sweep.job_failures",
 	CtrServerRequests:        "server.requests",
 	CtrServerCacheHits:       "server.cache_hits",
 	CtrServerCacheMisses:     "server.cache_misses",
 	CtrServerCacheEvictions:  "server.cache_evictions",
+	CtrServerCacheExpiries:   "server.cache_expiries",
 	CtrServerCoalesced:       "server.coalesced",
 	CtrServerAnalyses:        "server.analyses",
 	CtrServerShed:            "server.shed",
 	CtrServerTimeouts:        "server.timeouts",
 	CtrServerFailures:        "server.failures",
+	CtrServerDeltaRequests:   "server.delta_requests",
+	CtrServerDeltaBaseMisses: "server.delta_base_misses",
+	CtrServerDeltaEdits:      "server.delta_edits",
 }
 
 func (c Counter) String() string {
