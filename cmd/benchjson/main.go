@@ -109,13 +109,31 @@ func readReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
+// stripProcsSuffix removes the trailing -<GOMAXPROCS> decoration go
+// test appends to every benchmark name, so a report recorded on an
+// 8-way machine still lines up entry for entry with one from a 4-way
+// CI runner. Only a purely numeric final dash segment is stripped;
+// sub-benchmark names that merely contain digits are untouched.
+func stripProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
 // bestOf folds repeated runs of the same benchmark (go test -count N)
 // into one entry, keeping the fastest time — the standard best-of-N
 // noise reduction — and the worst allocation count, so an allocation
-// that shows up in any run still fails the gate.
+// that shows up in any run still fails the gate. Names are normalized
+// via stripProcsSuffix first, so cross-machine reports compare.
 func bestOf(benches []Benchmark) map[string]Benchmark {
 	out := make(map[string]Benchmark, len(benches))
 	for _, b := range benches {
+		b.Name = stripProcsSuffix(b.Name)
 		prev, seen := out[b.Name]
 		if !seen {
 			out[b.Name] = b

@@ -121,8 +121,37 @@ func TestCompareBestOfN(t *testing.T) {
 	if n != 1 {
 		t.Errorf("regressions = %d, want 1 (alloc):\n%s", n, buf.String())
 	}
-	if strings.Count(buf.String(), "BenchmarkA-8") != 1 {
+	if strings.Count(buf.String(), "BenchmarkA") != 1 {
 		t.Errorf("repeated runs not folded:\n%s", buf.String())
+	}
+}
+
+// TestCompareAcrossGomaxprocs: the -<GOMAXPROCS> name suffix differs
+// between recording machines (an 8-way laptop vs a 4-way CI runner)
+// and must not make the reports disjoint. Names whose final dash
+// segment is not purely numeric are left alone.
+func TestCompareAcrossGomaxprocs(t *testing.T) {
+	old := report(Benchmark{Name: "BenchmarkA/sets8192-8", NsPerOp: 100})
+	cur := report(Benchmark{Name: "BenchmarkA/sets8192-4", NsPerOp: 104})
+	var buf bytes.Buffer
+	n, err := compare(old, cur, 10, &buf)
+	if err != nil {
+		t.Fatalf("cross-GOMAXPROCS reports treated as disjoint: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("regressions = %d, want 0:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "BenchmarkA/sets8192 ") ||
+		strings.Contains(buf.String(), "sets8192-") {
+		t.Errorf("names not normalized in table:\n%s", buf.String())
+	}
+	for _, name := range []string{"Benchmark-suffix-", "Benchmark-"} {
+		if got := stripProcsSuffix(name); got != name {
+			t.Errorf("stripProcsSuffix(%q) = %q, want unchanged", name, got)
+		}
+	}
+	if got := stripProcsSuffix("BenchmarkA-16"); got != "BenchmarkA" {
+		t.Errorf("stripProcsSuffix(BenchmarkA-16) = %q, want BenchmarkA", got)
 	}
 }
 

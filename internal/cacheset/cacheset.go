@@ -236,6 +236,11 @@ func (s Set) Equal(t Set) bool {
 	return true
 }
 
+// Words exposes the set's backing bit words (little-endian set order)
+// for read-only consumers — hashing a set's exact contents without
+// enumerating its elements. The slice must not be mutated.
+func (s Set) Words() []uint64 { return s.words }
+
 // Indices returns the elements of s in increasing order.
 func (s Set) Indices() []int {
 	out := make([]int, 0, s.Count())

@@ -55,13 +55,13 @@ type BatchOptions struct {
 	// (nil for plain analysis errors). Called from worker goroutines;
 	// must be safe for concurrent use.
 	OnFailure func(i int, label string, err error, stack []byte)
-	// Memo, when non-nil, is a content-addressed column store shared by
-	// every request of the batch (and, if the caller retains it, across
+	// Memo, when non-nil, is a content-addressed store shared by every
+	// request of the batch (and, if the caller retains it, across
 	// batches): near-duplicate task sets recompute only the table
-	// columns their differences invalidate (see Options.Memo). The
-	// reference retry of the Isolate path deliberately bypasses it —
-	// the retry exists to sidestep engine state, cached columns
-	// included.
+	// columns and curve backbones their differences invalidate (see
+	// Options.Memo). The reference retry of the Isolate path
+	// deliberately bypasses it — the retry exists to sidestep engine
+	// state, cached columns and curves included.
 	Memo *MemoStore
 }
 

@@ -48,6 +48,9 @@ func (c Config) canonical() Config {
 type hashWriter struct {
 	h   hash.Hash
 	buf [8]byte
+	// tmp stages multi-word writes (setWords) so each set costs one
+	// Write call instead of one per element.
+	tmp []byte
 }
 
 func (w *hashWriter) u64(v uint64) {
@@ -75,6 +78,39 @@ func (w *hashWriter) set(s cacheset.Set) {
 	for _, i := range idx {
 		w.i64(int64(i))
 	}
+}
+
+// setWords hashes a set's exact contents via its backing bit words —
+// the same information as set() (capacity prefix makes the word count
+// self-delimiting) at a fraction of the cost, for the hot per-task
+// digests of the memo layer. Kept distinct from set() so CanonicalKey's
+// published request-key encoding is untouched.
+func (w *hashWriter) setWords(s cacheset.Set) {
+	w.u64(uint64(s.Capacity()))
+	w.tmp = w.tmp[:0]
+	for _, word := range s.Words() {
+		w.tmp = binary.LittleEndian.AppendUint64(w.tmp, word)
+	}
+	w.h.Write(w.tmp)
+}
+
+// setWordsSparse hashes a set via its nonzero backing words only, as
+// (index, word) pairs behind a capacity-and-count prefix, so the cost
+// scales with the footprint's spread rather than the cache geometry.
+// Injective for a fixed capacity: the nonzero words determine the set.
+func (w *hashWriter) setWordsSparse(s cacheset.Set) {
+	w.tmp = w.tmp[:0]
+	n := uint64(0)
+	for i, word := range s.Words() {
+		if word != 0 {
+			w.tmp = binary.LittleEndian.AppendUint64(w.tmp, uint64(i))
+			w.tmp = binary.LittleEndian.AppendUint64(w.tmp, word)
+			n++
+		}
+	}
+	w.u64(uint64(s.Capacity()))
+	w.u64(n)
+	w.h.Write(w.tmp)
 }
 
 func (w *hashWriter) cache(c taskmodel.CacheConfig) {

@@ -47,22 +47,31 @@ import (
 
 const maxTime = taskmodel.Time(math.MaxInt64)
 
-// termCurve is one interference curve's loop-invariant backbone: the
-// interfering task's scalar parameters plus its filled pair-table
-// entry at the curve's analysis level. Everything the step function
-// needs except the current iterate t and (for remote terms) the
-// remote response-time estimate R_l, which the cursor captures at
-// reset. The task pointer refers to the tables' task set; by the
-// compatibility contract its scalar parameters match the analyzer's
-// (only d_mem may differ, and that is read from the analyzer).
+// termCurve is one interference curve's loop-invariant backbone entry:
+// the interfering task's scalar parameters and its pair-table values
+// at the curve's analysis level, copied by value. Everything the step
+// function needs except the current iterate t and (for remote terms)
+// the remote response-time estimate R_l, which the cursor captures at
+// reset — task identity (index, priority) lives on the cursor too, so
+// a backbone slice is a pure function of its content key and can be
+// shared copy-free across analyses through the MemoStore. Fields not
+// covered by the backbone's key are left zero: pd on remote backbones
+// (no remote term of Eq. (3)–(6) reads it) and the CPRO fields
+// (pcb/unionOverlap/evictors) on γ-depth backbones (read only with
+// persistence enabled, which requests CPRO depth). d_mem and the slot
+// size are read from the analyzer at evaluation time.
 type termCurve struct {
-	t *taskmodel.Task
-	p *pairTab
-	// pcb caches |PCB_j| for the FullReload CPRO bound.
-	pcb int64
-	// idx is the interfering task's table index — the key into the
-	// analyzer's dense response-time mirror.
-	idx int32
+	period taskmodel.Time
+	pd     taskmodel.Time
+	md     int64
+	mdr    int64
+	// gamma is γ_{i,j,core(j)} at the backbone's level.
+	gamma int64
+	// pcb caches |PCB_j| for the FullReload CPRO bound; unionOverlap
+	// and evictors are the Eq. (14) CPRO terms. CPRO depth only.
+	pcb          int64
+	unionOverlap int64
+	evictors     []persistence.EvictorTerm
 }
 
 // levelCurves materializes one analysis level's interference curves,
@@ -71,17 +80,18 @@ type termCurve struct {
 // reproduces their arithmetic exactly). Like the pair tables the
 // build is lazy — per level, per core, per column: TDMA and Perfect
 // never pay for remote curves, and persistence-oblivious
-// configurations never pay for the CPRO fills.
+// configurations never pay for the CPRO fills. The slices are views
+// into backbones that may be shared through the MemoStore and must
+// not be mutated; per-level state here is only the bookkeeping flags.
 type levelCurves struct {
 	// same covers hp(i) on the task's own core: the processor
 	// preemption term of Eq. (19) and the BAS term of Eq. (1)/Lemma 1.
 	same []termCurve
 	// remote[y]/low[y] cover hep(i)∩Γ_y and lp(i)∩Γ_y: the BAO and
-	// BAO_low terms of Eq. (3)–(7). Built per core on first use, all
-	// subsliced from the flat backing at the tables' coreOff offsets.
+	// BAO_low terms of Eq. (3)–(7), subsliced from one contiguous
+	// per-core backbone at the level's priority cutoff.
 	remote [][]termCurve
 	low    [][]termCurve
-	flat   []termCurve
 
 	sameBuilt     bool
 	samePersist   bool
@@ -104,87 +114,147 @@ func (tb *Tables) levelCurves(ii int) *levelCurves {
 	return lc
 }
 
-// curveSame returns level ii's same-core curves, built on first use.
-// With persist set, the pair entries are additionally brought to CPRO
-// depth (a no-op once done). obs, when non-nil, records whether the
-// call hit the cache or paid for a build.
+// buildSameBackbone materializes level ii's same-core backbone at the
+// requested depth: one termCurve per hp task, in hp order. The shared
+// body of the local build and the memoized compute, so store-served
+// and per-analysis backbones are bit-identical; counted as a genuine
+// cold build (CtrCurveBuilds).
+func (tb *Tables) buildSameBackbone(ii int, persist bool, obs *telemetry.Observer) []termCurve {
+	if obs != nil {
+		obs.Add(telemetry.CtrCurveBuilds, 1)
+		if obs.Tracing() {
+			defer obs.Span("curves level "+strconv.Itoa(ii)+" same", "curves").End()
+		}
+	}
+	r := tb.row(ii)
+	tb.ensurePairs(ii, r)
+	core := tb.tasks[ii].Core
+	if tb.memo != nil {
+		tb.memoFillGamma(ii, r, core, obs)
+		if persist {
+			tb.memoFillPersist(ii, r, core, false, obs)
+		}
+	}
+	terms := make([]termCurve, len(r.hp))
+	for k, ref := range r.hp {
+		p := tb.pair(ii, r, ref.idx)
+		if persist {
+			p = tb.pairPersist(ii, r, ref.idx)
+		}
+		tc := &terms[k]
+		tc.period, tc.pd = ref.t.Period, ref.t.PD
+		tc.md, tc.mdr = ref.t.MD, ref.t.MDr
+		tc.gamma = p.gamma
+		if persist {
+			tc.pcb = tb.pcb[ref.idx]
+			tc.unionOverlap = p.unionOverlap
+			tc.evictors = p.evictors
+		}
+	}
+	return terms
+}
+
+// buildRemoteBackbone materializes core y's backbone at level ii:
+// hep(ii)∩Γ_y followed by lp(ii)∩Γ_y, contiguous in byCore order. pd
+// stays zero — no remote term reads it, and the backbone's content key
+// (remoteDig) deliberately omits it so PD edits keep remote backbones.
+func (tb *Tables) buildRemoteBackbone(ii, y int, persist bool, obs *telemetry.Observer) []termCurve {
+	if obs != nil {
+		obs.Add(telemetry.CtrCurveBuilds, 1)
+		if obs.Tracing() {
+			defer obs.Span("curves level "+strconv.Itoa(ii)+" core "+strconv.Itoa(y), "curves").End()
+		}
+	}
+	r := tb.row(ii)
+	tb.ensurePairs(ii, r)
+	if tb.memo != nil {
+		tb.memoFillGamma(ii, r, y, obs)
+		if persist {
+			tb.memoFillPersist(ii, r, y, true, obs)
+		}
+	}
+	terms := make([]termCurve, 0, len(tb.byCore[y]))
+	fill := func(refs []taskRef) {
+		for _, ref := range refs {
+			p := tb.pair(ii, r, ref.idx)
+			if persist {
+				p = tb.pairPersist(ii, r, ref.idx)
+			}
+			tc := termCurve{
+				period: ref.t.Period,
+				md:     ref.t.MD, mdr: ref.t.MDr,
+				gamma: p.gamma,
+			}
+			if persist {
+				tc.pcb = tb.pcb[ref.idx]
+				tc.unionOverlap = p.unionOverlap
+				tc.evictors = p.evictors
+			}
+			terms = append(terms, tc)
+		}
+	}
+	fill(r.hep[y])
+	fill(r.lp[y])
+	return terms
+}
+
+// curveSame returns level ii's same-core curves, materialized on first
+// use — from the shared store when one is attached (keyed by content,
+// so any analysis whose hp prefix matches reuses the backbone
+// copy-free), locally otherwise. A curve already materialized at
+// sufficient depth is a warm intra-Tables hit (CtrCurveHits); a persist
+// request against a γ-depth curve re-materializes at CPRO depth under
+// its own key, and cursors still holding the γ-depth slice stay valid —
+// published backbones are immutable.
 func (tb *Tables) curveSame(ii int, persist bool, obs *telemetry.Observer) []termCurve {
 	lc := tb.levelCurves(ii)
-	r := tb.row(ii)
-	if !lc.sameBuilt {
+	if lc.sameBuilt && (!persist || lc.samePersist) {
 		if obs != nil {
-			obs.Add(telemetry.CtrCurveBuilds, 1)
-			if obs.Tracing() {
-				defer obs.Span("curves level "+strconv.Itoa(ii)+" same", "curves").End()
-			}
+			obs.Add(telemetry.CtrCurveHits, 1)
 		}
-		if tb.memo != nil {
-			tb.memoFillGamma(ii, r, tb.tasks[ii].Core, obs)
-		}
-		lc.same = make([]termCurve, len(r.hp))
-		for k, ref := range r.hp {
-			lc.same[k] = termCurve{t: ref.t, p: tb.pair(ii, r, ref.idx), pcb: tb.pcb[ref.idx], idx: int32(ref.idx)}
-		}
-		lc.sameBuilt = true
-	} else if obs != nil {
-		obs.Add(telemetry.CtrCurveHits, 1)
+		return lc.same
 	}
-	if persist && !lc.samePersist {
-		if tb.memo != nil {
-			tb.memoFillPersist(ii, r, tb.tasks[ii].Core, false, obs)
-		}
-		for _, ref := range r.hp {
-			tb.pairPersist(ii, r, ref.idx)
-		}
-		lc.samePersist = true
+	core := tb.tasks[ii].Core
+	// k−1 = |hp|: priorities are unique, so the own-core hep prefix
+	// contains exactly the hp tasks plus the level itself.
+	if k := tb.hepCount(ii, core); tb.memo != nil && k > 1 {
+		key := tb.curveKey(core, k, sameCurveFlavor(persist))
+		lc.same = tb.memo.getOrComputeCurve(key, obs, func() []termCurve {
+			return tb.buildSameBackbone(ii, persist, obs)
+		})
+	} else {
+		lc.same = tb.buildSameBackbone(ii, persist, obs)
 	}
+	lc.sameBuilt = true
+	lc.samePersist = persist
 	return lc.same
 }
 
-// curveRemote returns level ii's hep and lp curves on core y, built on
-// first use.
+// curveRemote returns level ii's hep and lp curves on core y,
+// materialized on first use like curveSame; both views subslice one
+// contiguous backbone at the level's priority cutoff.
 func (tb *Tables) curveRemote(ii, y int, persist bool, obs *telemetry.Observer) (remote, low []termCurve) {
 	lc := tb.levelCurves(ii)
-	r := tb.row(ii)
-	if !lc.remoteBuilt[y] {
+	if lc.remoteBuilt[y] && (!persist || lc.remotePersist[y]) {
 		if obs != nil {
-			obs.Add(telemetry.CtrCurveBuilds, 1)
-			if obs.Tracing() {
-				defer obs.Span("curves level "+strconv.Itoa(ii)+" core "+strconv.Itoa(y), "curves").End()
-			}
+			obs.Add(telemetry.CtrCurveHits, 1)
 		}
-		if tb.memo != nil {
-			tb.memoFillGamma(ii, r, y, obs)
-		}
-		if lc.flat == nil {
-			lc.flat = make([]termCurve, len(tb.tasks))
-		}
-		part := lc.flat[tb.coreOff[y]:tb.coreOff[y]]
-		for _, ref := range r.hep[y] {
-			part = append(part, termCurve{t: ref.t, p: tb.pair(ii, r, ref.idx), pcb: tb.pcb[ref.idx], idx: int32(ref.idx)})
-		}
-		for _, ref := range r.lp[y] {
-			part = append(part, termCurve{t: ref.t, p: tb.pair(ii, r, ref.idx), pcb: tb.pcb[ref.idx], idx: int32(ref.idx)})
-		}
-		n := len(r.hep[y])
-		lc.remote[y] = part[:n:n]
-		lc.low[y] = part[n:]
-		lc.remoteBuilt[y] = true
-	} else if obs != nil {
-		obs.Add(telemetry.CtrCurveHits, 1)
+		return lc.remote[y], lc.low[y]
 	}
-	if persist && !lc.remotePersist[y] {
-		if tb.memo != nil {
-			tb.memoFillPersist(ii, r, y, true, obs)
-		}
-		for _, ref := range r.hep[y] {
-			tb.pairPersist(ii, r, ref.idx)
-		}
-		for _, ref := range r.lp[y] {
-			tb.pairPersist(ii, r, ref.idx)
-		}
-		lc.remotePersist[y] = true
+	k := tb.hepCount(ii, y)
+	var terms []termCurve
+	if tb.memo != nil && len(tb.byCore[y]) > 0 {
+		key := tb.curveKey(y, k, remoteCurveFlavor(tb.gammaFlavor(ii, y), persist))
+		terms = tb.memo.getOrComputeCurve(key, obs, func() []termCurve {
+			return tb.buildRemoteBackbone(ii, y, persist, obs)
+		})
+	} else {
+		terms = tb.buildRemoteBackbone(ii, y, persist, obs)
 	}
+	lc.remote[y] = terms[:k:k]
+	lc.low[y] = terms[k:]
+	lc.remoteBuilt[y] = true
+	lc.remotePersist[y] = persist
 	return lc.remote[y], lc.low[y]
 }
 
@@ -213,6 +283,10 @@ type remoteCursor struct {
 	// BAO_low sum (FP blocking) over the BAO sum.
 	core int32
 	low  bool
+	// idx/prio identify the interfering task for fpRemote — kept on the
+	// cursor because shared backbones carry no task identity.
+	idx  int32
+	prio int32
 }
 
 // fpState is one analyzed task's cursor state, kept per level for the
@@ -247,8 +321,8 @@ func (a *Analyzer) persistentDemandCurve(tc *termCurve, n int64, t taskmodel.Tim
 	if n <= 0 {
 		return 0
 	}
-	plain := n * tc.t.MD
-	mdhat := n*tc.t.MDr + tc.pcb
+	plain := n * tc.md
+	mdhat := n*tc.mdr + tc.pcb
 	if plain < mdhat {
 		mdhat = plain
 	}
@@ -266,11 +340,11 @@ func (a *Analyzer) rhoCurve(tc *termCurve, n int64, t taskmodel.Time) int64 {
 	}
 	switch a.Cfg.CPRO {
 	case persistence.Union:
-		return (n - 1) * tc.p.unionOverlap
+		return (n - 1) * tc.unionOverlap
 	case persistence.MultisetUnion:
-		union := (n - 1) * tc.p.unionOverlap
+		union := (n - 1) * tc.unionOverlap
 		var multi int64
-		for _, ev := range tc.p.evictors {
+		for _, ev := range tc.evictors {
 			// Jobs of the evictor in the window, +1 for a carry-in job.
 			jobs := int64(t)/int64(ev.Period) + 2
 			if jobs > n-1 {
@@ -296,7 +370,7 @@ func (a *Analyzer) evictorBreak(tc *termCurve, t, next taskmodel.Time) taskmodel
 	if !a.Cfg.Persistence || a.Cfg.CPRO != persistence.MultisetUnion {
 		return next
 	}
-	for _, ev := range tc.p.evictors {
+	for _, ev := range tc.evictors {
 		if bp := (int64(t)/int64(ev.Period) + 1) * int64(ev.Period); bp < next {
 			next = bp
 		}
@@ -307,16 +381,16 @@ func (a *Analyzer) evictorBreak(tc *termCurve, t, next taskmodel.Time) taskmodel
 // sameEval evaluates one same-core curve at t: the processor term, the
 // BAS term (matching bas() exactly) and the next breakpoint.
 func (a *Analyzer) sameEval(tc *termCurve, t taskmodel.Time) (procVal taskmodel.Time, basVal int64, next taskmodel.Time) {
-	e := ceilDiv(int64(t), int64(tc.t.Period))
-	procVal = taskmodel.Time(e) * tc.t.PD
+	e := ceilDiv(int64(t), int64(tc.period))
+	procVal = taskmodel.Time(e) * tc.pd
 	if a.Cfg.Persistence {
-		basVal = a.persistentDemandCurve(tc, e, t) + e*tc.p.gamma
+		basVal = a.persistentDemandCurve(tc, e, t) + e*tc.gamma
 	} else {
-		basVal = e*tc.t.MD + e*tc.p.gamma
+		basVal = e*tc.md + e*tc.gamma
 	}
 	// ⌈t/T⌉ holds its value up to and including e·T; it steps at
 	// e·T + 1 (times are integral).
-	next = e*int64(tc.t.Period) + 1
+	next = e*int64(tc.period) + 1
 	next = a.evictorBreak(tc, t, next)
 	if next <= t {
 		next = t + 1 // defensive: cursors must always move forward
@@ -330,7 +404,7 @@ func (a *Analyzer) sameEval(tc *termCurve, t taskmodel.Time) (procVal taskmodel.
 // release, d_mem ramp step, or evictor release).
 func (a *Analyzer) remoteEval(tc *termCurve, c int64, t taskmodel.Time) (val int64, next taskmodel.Time) {
 	dmem := int64(a.TS.Platform.DMem)
-	period := int64(tc.t.Period)
+	period := int64(tc.period)
 	num := int64(t) + c
 	n := floorDiv(num, period)
 	if n < 0 {
@@ -338,11 +412,11 @@ func (a *Analyzer) remoteEval(tc *termCurve, c int64, t taskmodel.Time) (val int
 	}
 	var w int64
 	if a.Cfg.Persistence {
-		w = a.persistentDemandCurve(tc, n, t) + n*tc.p.gamma
+		w = a.persistentDemandCurve(tc, n, t) + n*tc.gamma
 	} else {
-		w = n * (tc.t.MD + tc.p.gamma)
+		w = n * (tc.md + tc.gamma)
 	}
-	wcCap := tc.t.MD + tc.p.gamma
+	wcCap := tc.md + tc.gamma
 	rem := num - n*period
 	wcRaw := ceilDiv(rem, dmem)
 	wc := wcRaw
@@ -376,11 +450,11 @@ func (a *Analyzer) remoteEval(tc *termCurve, c int64, t taskmodel.Time) (val int
 
 // fpRemote reads the current remote estimate feeding one remote
 // cursor: the dense mirror while Run is live, the public map otherwise.
-func (a *Analyzer) fpRemote(tc *termCurve) taskmodel.Time {
+func (a *Analyzer) fpRemote(cur *remoteCursor) taskmodel.Time {
 	if a.rdLive {
-		return a.rd[tc.idx]
+		return a.rd[cur.idx]
 	}
-	return a.R[tc.t.Priority]
+	return a.R[int(cur.prio)]
 }
 
 // fpReset prepares the cursors for the priority-level row ii at the
@@ -408,7 +482,7 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 		for k := range s.remote {
 			cur := &s.remote[k]
 			tc := cur.tc
-			c := int64(a.fpRemote(tc)) - (tc.t.MD+tc.p.gamma)*dmem
+			c := int64(a.fpRemote(cur)) - (tc.md+tc.gamma)*dmem
 			if c == cur.c {
 				continue
 			}
@@ -486,11 +560,19 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 		s.remote = make([]remoteCursor, 0, len(a.tab.tasks))
 	}
 
-	addRemote := func(terms []termCurve, y int, low bool) {
+	// idxs aligns with the backbone terms: hep(level)∩Γ_y is a prefix of
+	// byCore[y] and lp(level)∩Γ_y the matching suffix, so the tables'
+	// per-core index column supplies the task identity a shared backbone
+	// cannot carry.
+	addRemote := func(terms []termCurve, idxs []int32, y int, low bool) {
 		for k := range terms {
 			tc := &terms[k]
-			c := int64(a.fpRemote(tc)) - (tc.t.MD+tc.p.gamma)*dmem
-			val, next := a.remoteEval(tc, c, r)
+			jj := idxs[k]
+			cur := remoteCursor{tc: tc, core: int32(y), low: low,
+				idx: jj, prio: int32(a.tab.tasks[jj].Priority)}
+			cur.c = int64(a.fpRemote(&cur)) - (tc.md+tc.gamma)*dmem
+			val, next := a.remoteEval(tc, cur.c, r)
+			cur.val, cur.next = val, next
 			if low {
 				s.lowSum[y] += val
 			} else {
@@ -499,7 +581,7 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 			if next < s.minNext {
 				s.minNext = next
 			}
-			s.remote = append(s.remote, remoteCursor{tc: tc, c: c, val: val, next: next, core: int32(y), low: low})
+			s.remote = append(s.remote, cur)
 		}
 	}
 	level := ii
@@ -511,9 +593,10 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 			continue
 		}
 		remote, low := a.tab.curveRemote(level, y, persist, a.obs)
-		addRemote(remote, y, false)
+		idxs := a.tab.coreIdx[y]
+		addRemote(remote, idxs[:len(remote)], y, false)
 		if a.Cfg.Arbiter == FP {
-			addRemote(low, y, true)
+			addRemote(low, idxs[len(remote):], y, true)
 		}
 	}
 }

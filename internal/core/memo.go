@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/crpd"
 	"repro/internal/persistence"
@@ -80,14 +81,49 @@ type memoColumn struct {
 	evictors     [][]persistence.EvictorTerm
 }
 
+// curveColumn is one published curve backbone: an immutable termCurve
+// slice shared copy-free by every analysis whose level/core column has
+// the same content key. Remote backbones store hep ++ lp contiguously;
+// the consumer splits at its own cutoff, which the key covers.
+type curveColumn struct {
+	terms []termCurve
+}
+
+// memoCounterSet names the telemetry family one kind of store entry
+// reports on, so table columns and curve backbones stay separately
+// observable (core.memo_* vs core.curve_memo_*) while sharing the
+// store's capacity, sharding and compute-once machinery.
+type memoCounterSet struct {
+	hits, waits, misses, evictions telemetry.Counter
+}
+
+var (
+	columnCounters = &memoCounterSet{
+		hits: telemetry.CtrMemoHits, waits: telemetry.CtrMemoWaits,
+		misses: telemetry.CtrMemoMisses, evictions: telemetry.CtrMemoEvictions,
+	}
+	curveCounters = &memoCounterSet{
+		hits: telemetry.CtrCurveMemoHits, waits: telemetry.CtrCurveMemoWaits,
+		misses: telemetry.CtrCurveMemoMisses, evictions: telemetry.CtrCurveMemoEvictions,
+	}
+)
+
 const memoShards = 16
 
 type memoEntry struct {
 	key memoKey
-	// col is valid only after done is closed; nil then means the
-	// leader's compute failed and the entry was withdrawn.
-	col  *memoColumn
+	// val is valid only after done is closed; nil then means the
+	// leader's compute failed and the entry was withdrawn. It holds a
+	// *memoColumn or a *curveColumn; ctrs attributes the entry's
+	// eviction to the matching counter family.
+	val  any
+	ctrs *memoCounterSet
 	done chan struct{}
+	// ready flips to true (release) after val is published, letting the
+	// hit path skip the done-channel select (acquire on Load). It stays
+	// false on withdraw, so readers that miss the flag still take the
+	// channel edge and see the nil val there.
+	ready atomic.Bool
 }
 
 type memoShard struct {
@@ -125,35 +161,45 @@ func NewMemoStore(maxEntries int) *MemoStore {
 	return m
 }
 
-// getOrCompute returns the column for key, computing and publishing it
+// getOrCompute returns the value for key, computing and publishing it
 // via compute if absent. Concurrent callers of the same key compute it
 // once: followers block until the leader publishes. obs (nil-safe)
-// receives core.memo_* counters: a hit for a published column, a wait
-// for joining an in-flight computation, a miss for every actual
-// compute invocation, an eviction per capacity drop.
-func (m *MemoStore) getOrCompute(key memoKey, obs *telemetry.Observer, compute func() *memoColumn) *memoColumn {
+// receives the ctrs counter family: a hit for a published value, a
+// wait for joining an in-flight computation, a miss for every actual
+// compute invocation, an eviction per capacity drop (attributed to the
+// dropped entry's own family).
+func (m *MemoStore) getOrCompute(key memoKey, ctrs *memoCounterSet, obs *telemetry.Observer, compute func() any) any {
 	sh := &m.shards[key[0]&(memoShards-1)]
 	sh.mu.Lock()
 	if ele, ok := sh.byKey[key]; ok {
 		ent := ele.Value.(*memoEntry)
-		sh.ll.MoveToFront(ele)
+		// LRU order only matters once the shard is under capacity
+		// pressure; below half-full every entry survives regardless, so
+		// the list shuffle is pure overhead on the hot hit path.
+		if sh.ll.Len()*2 > m.perCap {
+			sh.ll.MoveToFront(ele)
+		}
 		sh.mu.Unlock()
+		if ent.ready.Load() {
+			obs.Add(ctrs.hits, 1)
+			return ent.val
+		}
 		select {
 		case <-ent.done:
-			obs.Add(telemetry.CtrMemoHits, 1)
+			obs.Add(ctrs.hits, 1)
 		default:
-			obs.Add(telemetry.CtrMemoWaits, 1)
+			obs.Add(ctrs.waits, 1)
 			<-ent.done
 		}
-		if ent.col != nil {
-			return ent.col
+		if ent.val != nil {
+			return ent.val
 		}
 		// The leader failed and withdrew the entry; compute locally
 		// without publishing (a later request elects a fresh leader).
-		obs.Add(telemetry.CtrMemoMisses, 1)
+		obs.Add(ctrs.misses, 1)
 		return compute()
 	}
-	ent := &memoEntry{key: key, done: make(chan struct{})}
+	ent := &memoEntry{key: key, ctrs: ctrs, done: make(chan struct{})}
 	ele := sh.ll.PushFront(ent)
 	sh.byKey[key] = ele
 	for sh.ll.Len() > m.perCap {
@@ -161,20 +207,24 @@ func (m *MemoStore) getOrCompute(key memoKey, obs *telemetry.Observer, compute f
 		if tail == ele {
 			break
 		}
+		dropped := tail.Value.(*memoEntry)
 		sh.ll.Remove(tail)
-		delete(sh.byKey, tail.Value.(*memoEntry).key)
-		obs.Add(telemetry.CtrMemoEvictions, 1)
+		delete(sh.byKey, dropped.key)
+		obs.Add(dropped.ctrs.evictions, 1)
 	}
 	sh.mu.Unlock()
 
-	obs.Add(telemetry.CtrMemoMisses, 1)
-	var col *memoColumn
+	obs.Add(ctrs.misses, 1)
+	var val any
 	defer func() {
-		// Publish-or-withdraw runs even when compute panics: col stays
+		// Publish-or-withdraw runs even when compute panics: val stays
 		// nil, the entry is removed so the key is not poisoned, and the
 		// close releases any followers before the panic propagates.
-		ent.col = col
-		if col == nil {
+		ent.val = val
+		if val != nil {
+			ent.ready.Store(true)
+		}
+		if val == nil {
 			sh.mu.Lock()
 			if cur, ok := sh.byKey[key]; ok && cur.Value.(*memoEntry) == ent {
 				sh.ll.Remove(cur)
@@ -184,8 +234,32 @@ func (m *MemoStore) getOrCompute(key memoKey, obs *telemetry.Observer, compute f
 		}
 		close(ent.done)
 	}()
-	col = compute()
+	val = compute()
+	return val
+}
+
+// getOrComputeColumn is getOrCompute specialized to table columns,
+// reporting on the core.memo_* family. A nil compute result stays an
+// untyped nil so the withdraw path sees it.
+func (m *MemoStore) getOrComputeColumn(key memoKey, obs *telemetry.Observer, compute func() *memoColumn) *memoColumn {
+	v := m.getOrCompute(key, columnCounters, obs, func() any {
+		if col := compute(); col != nil {
+			return col
+		}
+		return nil
+	})
+	col, _ := v.(*memoColumn)
 	return col
+}
+
+// getOrComputeCurve is getOrCompute specialized to curve backbones,
+// reporting on the core.curve_memo_* family. The returned slice is
+// shared and must not be mutated.
+func (m *MemoStore) getOrComputeCurve(key memoKey, obs *telemetry.Observer, compute func() []termCurve) []termCurve {
+	col := m.getOrCompute(key, curveCounters, obs, func() any {
+		return &curveColumn{terms: compute()}
+	}).(*curveColumn)
+	return col.terms
 }
 
 // Len reports the number of resident columns (racy snapshot; tests
@@ -207,8 +281,16 @@ func (m *MemoStore) Len() int {
 func (tb *Tables) setMemo(m *MemoStore) { tb.memo = m }
 
 // digests lazily computes the per-task field digests the column keys
-// are assembled from. One pass per Tables; the cost is linear in the
-// total cache-set footprint.
+// are assembled from. One pass per Tables; the sets are hashed via
+// their raw bit words (setWords), so the cost is linear in the cache
+// geometry rather than the footprint's population count.
+//
+// The curve-backbone keys need the per-task scalars too (PD/MD/MDr/
+// Period for same-core curves; PD excluded for remote ones, since no
+// remote term of Eq. (3)–(6) reads it — which is exactly what keeps
+// remote backbones alive across the classic one-task-PD sweep). Those
+// are fixed-width fields, so curveKey writes them directly instead of
+// paying two more SHA-256 rounds per task here.
 func (tb *Tables) digests() {
 	if tb.gammaDig != nil {
 		return
@@ -216,62 +298,192 @@ func (tb *Tables) digests() {
 	tb.gammaDig = make([]memoKey, len(tb.tasks))
 	tb.persistDig = make([]memoKey, len(tb.tasks))
 	for i, t := range tb.tasks {
-		w := &hashWriter{h: sha256.New()}
-		w.str("buscon/memo/task-gamma/v1")
-		w.set(t.UCB)
-		w.set(t.ECB)
+		w := tb.keyWriter()
+		w.str("buscon/memo/task-gamma/v3")
+		w.setWordsSparse(t.UCB)
+		w.setWordsSparse(t.ECB)
 		w.h.Sum(tb.gammaDig[i][:0])
 
-		w = &hashWriter{h: sha256.New()}
-		w.str("buscon/memo/task-persist/v1")
-		w.set(t.ECB)
-		w.set(t.PCB)
+		w = tb.keyWriter()
+		w.str("buscon/memo/task-persist/v3")
+		w.setWordsSparse(t.ECB)
+		w.setWordsSparse(t.PCB)
 		w.i64(int64(t.Period))
 		w.h.Sum(tb.persistDig[i][:0])
 	}
 }
 
-// colKey flavors, part of the cached-key identity.
+// colKey flavors, part of the cached-key identity. The first
+// numChainFlavors are Merkle chains cached densely per core in the
+// Tables' key arena (chainSlot); the curve* flavors key whole backbone
+// materializations one level up (see curveKey).
 const (
 	colGamma = iota
 	colGammaSelfLast
 	colPersist
+	// chain* flavors cache the running scalar hashes the curve keys
+	// chain (scalarChain); they are intermediate values, never store
+	// keys themselves.
+	chainScalarSame
+	chainScalarRemote
+	chainLPTail
+	chainLPTailPersist
+	numChainFlavors
+	// curveSameKey keys a same-core backbone (hp terms) at γ depth;
+	// curveSamePersistKey the same prefix at CPRO depth.
+	curveSameKey
+	curveSamePersistKey
+	// curveRemoteKey / curveRemoteSelfKey key a remote backbone
+	// (hep ++ lp terms of one core) at γ depth, split by the chained γ
+	// column's selfLast shape; the *Persist variants add CPRO depth.
+	curveRemoteKey
+	curveRemoteSelfKey
+	curveRemotePersistKey
+	curveRemoteSelfPersistKey
 )
+
+// chainSlot returns core y's dense cache line for one chain flavor —
+// one memoKey per cutoff 0..len(byCore[y]) — plus its fill watermark.
+// The arena is one allocation for all cores and flavors; watermarks
+// start at -1 (nothing filled). Prefix flavors fill upward and read the
+// watermark as the highest valid cutoff; the lp-tail suffix flavors
+// fill downward and read it as the lowest (with -1 meaning empty).
+func (tb *Tables) chainSlot(y, flavor int) ([]memoKey, *int) {
+	if tb.chainKeys == nil {
+		tb.chainKeys = make([]memoKey, numChainFlavors*(len(tb.tasks)+len(tb.byCore)))
+		tb.chainWM = make([]int, numChainFlavors*len(tb.byCore))
+		for i := range tb.chainWM {
+			tb.chainWM[i] = -1
+		}
+	}
+	stride := len(tb.byCore[y]) + 1
+	base := numChainFlavors*(tb.coreOff[y]+y) + flavor*stride
+	return tb.chainKeys[base : base+stride], &tb.chainWM[y*numChainFlavors+flavor]
+}
+
+// keyWriter returns the Tables' reusable hash writer, reset: key
+// assembly runs thousands of SHA rounds per build and a per-call
+// sha256.New would put every one of them on the allocator.
+func (tb *Tables) keyWriter() *hashWriter {
+	if tb.kw.h == nil {
+		tb.kw.h = sha256.New()
+	} else {
+		tb.kw.h.Reset()
+	}
+	return &tb.kw
+}
 
 // colKey returns (building and caching on first use) the
 // content-addressed key of core y's column at cutoff k under the given
-// flavor. The key hashes the ordered digest sequence of the prefix —
-// order matters: the running evicting unions and the affected-task
-// sets are positional.
+// flavor. Keys are Merkle-chained — each cutoff hashes the previous
+// cutoff's key plus the one digest the prefix grew by — so a Tables
+// pays O(1) SHA-256 rounds per (core, cutoff) instead of re-hashing
+// the whole O(k) digest sequence. Order still matters (the running
+// evicting unions and affected-task sets are positional) and the chain
+// preserves it: two distinct digest sequences collide only through a
+// SHA-256 collision, link by link. Links are cached densely per core
+// (chainSlot) and missing ranges filled iteratively from the watermark.
 func (tb *Tables) colKey(y, k, flavor int) memoKey {
-	ck := uint64(y)<<34 | uint64(k)<<2 | uint64(flavor)
-	if key, ok := tb.colKeys[ck]; ok {
-		return key
+	ks, wm := tb.chainSlot(y, flavor)
+	if *wm >= k {
+		return ks[k]
 	}
-	w := &hashWriter{h: sha256.New()}
 	tb.digests()
-	var dig []memoKey
-	switch flavor {
-	case colGamma, colGammaSelfLast:
-		w.str("buscon/memo/gamma-col/v1")
-		w.i64(int64(tb.crpd))
-		w.boolean(flavor == colGammaSelfLast)
-		dig = tb.gammaDig
-	case colPersist:
-		w.str("buscon/memo/persist-col/v1")
+	dig := tb.gammaDig
+	if flavor == colPersist {
 		dig = tb.persistDig
 	}
-	w.u64(uint64(k))
-	for _, ref := range tb.byCore[y][:k] {
-		w.h.Write(dig[ref.idx][:])
+	refs := tb.byCore[y]
+	for j := *wm + 1; j <= k; j++ {
+		w := tb.keyWriter()
+		if flavor == colPersist {
+			w.str("buscon/memo/persist-col/v2")
+		} else {
+			w.str("buscon/memo/gamma-col/v2")
+			w.i64(int64(tb.crpd))
+			w.boolean(flavor == colGammaSelfLast)
+		}
+		w.u64(uint64(j))
+		if j > 0 {
+			w.h.Write(ks[j-1][:])
+			w.h.Write(dig[refs[j-1].idx][:])
+		}
+		w.h.Sum(ks[j][:0])
 	}
-	var key memoKey
-	w.h.Sum(key[:0])
-	if tb.colKeys == nil {
-		tb.colKeys = make(map[uint64]memoKey)
+	*wm = k
+	return ks[k]
+}
+
+// scalarChain returns the cached running hash of the per-task scalars
+// a curve key covers: prefix chains over byCore[y][:j] (same-core
+// curves read PD/MD/MDr/Period; remote ones MD/MDr/Period — PD stays
+// out, which is exactly what keeps remote backbones alive across a
+// one-task-PD sweep) and suffix chains over the lp tail byCore[y][j:]
+// (plus each tail task's persist digest at CPRO depth, covering its
+// own PCB against the prefix union). Chaining makes every link O(1)
+// SHA work, mirroring colKey; links live in the same dense arena.
+func (tb *Tables) scalarChain(y, j, flavor int) memoKey {
+	ks, wm := tb.chainSlot(y, flavor)
+	refs := tb.byCore[y]
+	switch flavor {
+	case chainScalarSame, chainScalarRemote:
+		if *wm >= j {
+			return ks[j]
+		}
+		for i := *wm + 1; i <= j; i++ {
+			w := tb.keyWriter()
+			if flavor == chainScalarSame {
+				w.str("buscon/memo/scalar-same/v1")
+			} else {
+				w.str("buscon/memo/scalar-remote/v1")
+			}
+			if i > 0 {
+				ref := refs[i-1]
+				w.h.Write(ks[i-1][:])
+				if flavor == chainScalarSame {
+					w.i64(int64(ref.t.PD))
+				}
+				w.i64(ref.t.MD)
+				w.i64(ref.t.MDr)
+				w.i64(int64(ref.t.Period))
+			}
+			w.h.Sum(ks[i][:0])
+		}
+		*wm = j
+		return ks[j]
+	default: // chainLPTail, chainLPTailPersist: suffix, filled downward
+		lo := *wm
+		if lo == -1 {
+			lo = len(refs) + 1
+		}
+		if lo <= j {
+			return ks[j]
+		}
+		if flavor == chainLPTailPersist {
+			tb.digests()
+		}
+		for i := lo - 1; i >= j; i-- {
+			w := tb.keyWriter()
+			if flavor == chainLPTail {
+				w.str("buscon/memo/lp-tail/v1")
+			} else {
+				w.str("buscon/memo/lp-tail-persist/v1")
+			}
+			if i < len(refs) {
+				ref := refs[i]
+				w.h.Write(ks[i+1][:])
+				w.i64(ref.t.MD)
+				w.i64(ref.t.MDr)
+				w.i64(int64(ref.t.Period))
+				if flavor == chainLPTailPersist {
+					w.h.Write(tb.persistDig[ref.idx][:])
+				}
+			}
+			w.h.Sum(ks[i][:0])
+		}
+		*wm = j
+		return ks[j]
 	}
-	tb.colKeys[ck] = key
-	return key
 }
 
 // gammaFlavor returns the γ-column flavor for level ii on core y: the
@@ -285,6 +497,120 @@ func (tb *Tables) gammaFlavor(ii, y int) int {
 	return colGamma
 }
 
+// sameCurveFlavor selects the backbone flavor of a same-core curve at
+// the requested depth. Same-core backbones always sit on the analyzed
+// task's own core, so the chained γ column's selfLast shape is a pure
+// function of the CRPD approach (already part of the column key).
+func sameCurveFlavor(persist bool) int {
+	if persist {
+		return curveSamePersistKey
+	}
+	return curveSameKey
+}
+
+// remoteCurveFlavor selects the backbone flavor of a remote curve: the
+// γ-column shape (gammaFlavor) times the requested depth.
+func remoteCurveFlavor(gflavor int, persist bool) int {
+	if gflavor == colGammaSelfLast {
+		if persist {
+			return curveRemoteSelfPersistKey
+		}
+		return curveRemoteSelfKey
+	}
+	if persist {
+		return curveRemotePersistKey
+	}
+	return curveRemoteKey
+}
+
+// curveKey returns (building and caching on first use) the
+// content-addressed identity of one curve backbone on core y at
+// priority cutoff k. The key chains the table-column sub-keys the
+// backbone's γ/CPRO fields are drawn from with the ordered scalar
+// digests of exactly the tasks whose termCurve entries it holds:
+//
+//   - same-core (cutoff k = |hep ∩ Γ_y|, terms = the k−1 hp tasks):
+//     γ column key [+ CPRO column key at persist depth] ++ the
+//     PD/MD/MDr/Period scalars of the hp prefix. The CPRO column at
+//     cutoff k covers the analyzed task itself too — required, since
+//     it evicts its hp neighbours' persistent blocks.
+//   - remote (terms = hep ++ lp of core y): γ column key [+ CPRO column
+//     key] ++ the MD/MDr/Period scalars of the hep prefix and the lp
+//     tail [+ persistDig of each lp task at persist depth, covering its
+//     own PCB against the prefix union]. lp γ values are identically
+//     zero, so no γ coverage is needed for the tail.
+//
+// Scalars excluded everywhere: d_mem and the slot size are read from
+// the analyzer at evaluation time (the d_mem-sensitivity contract of
+// Tables.compatible), and priorities/cores/names/deadlines enter only
+// through prefix membership and order, exactly as in the column keys.
+func (tb *Tables) curveKey(y, k, flavor int) memoKey {
+	ck := uint64(y)<<36 | uint64(k)<<4 | uint64(flavor)
+	if key, ok := tb.colKeys[ck]; ok {
+		return key
+	}
+	// Sub-keys are gathered before the final assembly: the chain fills
+	// share the Tables' one hash writer, so they must not run while the
+	// curve key's own hash is in flight.
+	var key memoKey
+	switch flavor {
+	case curveSameKey, curveSamePersistKey:
+		persist := flavor == curveSamePersistKey
+		gflavor := colGamma
+		if tb.crpd == crpd.ECBOnly {
+			gflavor = colGammaSelfLast
+		}
+		gk := tb.colKey(y, k, gflavor)
+		var pk memoKey
+		if persist {
+			pk = tb.colKey(y, k, colPersist)
+		}
+		sc := tb.scalarChain(y, k-1, chainScalarSame)
+		w := tb.keyWriter()
+		w.str("buscon/memo/curve-same/v2")
+		w.boolean(persist)
+		w.h.Write(gk[:])
+		if persist {
+			w.h.Write(pk[:])
+		}
+		w.h.Write(sc[:])
+		w.h.Sum(key[:0])
+	default:
+		persist := flavor == curveRemotePersistKey || flavor == curveRemoteSelfPersistKey
+		gflavor := colGamma
+		if flavor == curveRemoteSelfKey || flavor == curveRemoteSelfPersistKey {
+			gflavor = colGammaSelfLast
+		}
+		gk := tb.colKey(y, k, gflavor)
+		var pk memoKey
+		if persist {
+			pk = tb.colKey(y, k, colPersist)
+		}
+		sc := tb.scalarChain(y, k, chainScalarRemote)
+		tailFlavor := chainLPTail
+		if persist {
+			tailFlavor = chainLPTailPersist
+		}
+		lt := tb.scalarChain(y, k, tailFlavor)
+		w := tb.keyWriter()
+		w.str("buscon/memo/curve-remote/v2")
+		w.boolean(persist)
+		w.h.Write(gk[:])
+		if persist {
+			w.h.Write(pk[:])
+		}
+		w.h.Write(sc[:])
+		w.u64(uint64(len(tb.byCore[y]) - k))
+		w.h.Write(lt[:])
+		w.h.Sum(key[:0])
+	}
+	if tb.colKeys == nil {
+		tb.colKeys = make(map[uint64]memoKey, 2*len(tb.tasks))
+	}
+	tb.colKeys[ck] = key
+	return key
+}
+
 // memoFillGamma populates the γ entries of level ii's pair column on
 // core y from the shared store, computing the column once per content
 // key. Positions already built (by the per-pair path) are left
@@ -296,8 +622,9 @@ func (tb *Tables) memoFillGamma(ii int, r *row, y int, obs *telemetry.Observer) 
 	if k == 0 {
 		return
 	}
+	tb.ensurePairs(ii, r)
 	key := tb.colKey(y, k, tb.gammaFlavor(ii, y))
-	col := tb.memo.getOrCompute(key, obs, func() *memoColumn {
+	col := tb.memo.getOrComputeColumn(key, obs, func() *memoColumn {
 		c := &memoColumn{gamma: make([]int64, k)}
 		for pos, ref := range prefix {
 			c.gamma[pos] = tb.computeGamma(ii, ref.idx)
@@ -317,11 +644,12 @@ func (tb *Tables) memoFillGamma(ii int, r *row, y int, obs *telemetry.Observer) 
 // on core y — the hep prefix from the shared per-prefix column, the
 // lower-priority tasks (withLow) from chained single-task entries.
 func (tb *Tables) memoFillPersist(ii int, r *row, y int, withLow bool, obs *telemetry.Observer) {
+	tb.ensurePairs(ii, r)
 	prefix := r.hep[y]
 	k := len(prefix)
 	if k > 0 {
 		key := tb.colKey(y, k, colPersist)
-		col := tb.memo.getOrCompute(key, obs, func() *memoColumn {
+		col := tb.memo.getOrComputeColumn(key, obs, func() *memoColumn {
 			c := &memoColumn{
 				unionOverlap: make([]int64, k),
 				evictors:     make([][]persistence.EvictorTerm, k),
@@ -350,7 +678,7 @@ func (tb *Tables) memoFillPersist(ii int, r *row, y int, withLow bool, obs *tele
 		}
 		key := tb.lpKey(y, k, ref.idx)
 		jj := ref.idx
-		col := tb.memo.getOrCompute(key, obs, func() *memoColumn {
+		col := tb.memo.getOrComputeColumn(key, obs, func() *memoColumn {
 			uo, ev := tb.computePersist(prefix, jj)
 			return &memoColumn{
 				unionOverlap: []int64{uo},
@@ -373,7 +701,7 @@ func (tb *Tables) lpKey(y, k, jj int) memoKey {
 	} else {
 		tb.digests()
 	}
-	w := &hashWriter{h: sha256.New()}
+	w := tb.keyWriter()
 	w.str("buscon/memo/persist-lp/v1")
 	w.h.Write(pk[:])
 	w.h.Write(tb.persistDig[jj][:])

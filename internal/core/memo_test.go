@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cacheset"
 	"repro/internal/crpd"
+	"repro/internal/persistence"
 	"repro/internal/taskmodel"
 	"repro/internal/telemetry"
 )
@@ -183,6 +184,93 @@ func TestMemoComputeOnceConcurrent(t *testing.T) {
 	}
 }
 
+// TestCurveMemoComputeOnceConcurrent is the curve-level analogue of
+// TestMemoComputeOnceConcurrent, through the batch front door: many
+// AnalyzeBatchOpts workers analyzing the same task set against one
+// shared store must together miss each curve backbone exactly as often
+// as a solo cold run does — every backbone materialized once, the rest
+// of the demand served as hits or waits — and return bit-identical
+// results. Under -race this also proves the publish/consume edges of
+// the shared backbones themselves, which workers read copy-free.
+func TestCurveMemoComputeOnceConcurrent(t *testing.T) {
+	ts := differentialCorpus(t, 1)[0]
+	cfgs := memoConfigs()
+	want, err := AnalyzeAll(ts, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solo := telemetry.New()
+	if _, err := AnalyzeAllOpts(ts, cfgs, Options{Memo: NewMemoStore(0), Observer: solo}); err != nil {
+		t.Fatal(err)
+	}
+	soloCurves := solo.Metrics.Get(telemetry.CtrCurveMemoMisses)
+	if soloCurves == 0 {
+		t.Fatal("solo run materialized no memoized curves; backbones are not reaching the store")
+	}
+
+	const workers = 8
+	reqs := make([]BatchRequest, workers)
+	for i := range reqs {
+		reqs[i] = BatchRequest{TS: ts, Cfgs: cfgs}
+	}
+	obs := telemetry.New()
+	out, err := AnalyzeBatchOpts(reqs, BatchOptions{Workers: workers, Observer: obs, Memo: NewMemoStore(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range out {
+		for ci := range cfgs {
+			if !reflect.DeepEqual(out[w][ci], want[ci]) {
+				t.Fatalf("worker %d %+v: shared-store result diverges from memo-free analysis", w, cfgs[ci])
+			}
+		}
+	}
+	if got := obs.Metrics.Get(telemetry.CtrCurveMemoMisses); got != soloCurves {
+		t.Errorf("concurrent curve misses = %d, want exactly the solo cold run's %d (each backbone computed once)",
+			got, soloCurves)
+	}
+	if hw := obs.Metrics.Get(telemetry.CtrCurveMemoHits) + obs.Metrics.Get(telemetry.CtrCurveMemoWaits); hw == 0 {
+		t.Error("no curve hits or waits recorded across concurrent duplicate analyses")
+	}
+}
+
+// TestResponseTimeZeroAllocMemo repeats the zero-alloc pin of the warm
+// re-evaluation path with a memo store attached: once the warm-up Run
+// has materialized every backbone (hitting or filling the store),
+// ResponseTime must not touch the store, hash a key or allocate — the
+// memoized and plain warm paths are the same code over the same
+// cursors.
+func TestResponseTimeZeroAllocMemo(t *testing.T) {
+	store := NewMemoStore(0)
+	for _, cfg := range []Config{
+		{Arbiter: FP, Persistence: true, CPRO: persistence.MultisetUnion},
+		{Arbiter: RR, Persistence: true, CPRO: persistence.Union},
+		{Arbiter: TDMA, Persistence: false},
+	} {
+		ts := differentialCorpus(t, 1)[0]
+		tbl := PrecomputeTables(ts, cfg.CRPD)
+		tbl.setMemo(store)
+		a, err := NewAnalyzerWithTables(ts, cfg, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := a.Run(); !res.Complete {
+			t.Fatalf("%+v: warm-up run aborted; pick a schedulable corpus entry", cfg)
+		}
+		for _, task := range ts.Tasks {
+			prio := task.Priority
+			if avg := testing.AllocsPerRun(50, func() {
+				if _, ok := a.ResponseTime(prio); !ok {
+					t.Fatal("warm ResponseTime diverged")
+				}
+			}); avg != 0 {
+				t.Errorf("%+v prio %d: memoized ResponseTime allocates %v times per call, want 0", cfg, prio, avg)
+			}
+		}
+	}
+}
+
 // TestMemoSweepRecomputeReduction pins the acceptance criterion: a
 // one-task-perturbed sweep against a shared store must recompute at
 // least 5× fewer table columns than the memo-free workload (measured
@@ -238,7 +326,7 @@ func TestMemoStoreLeaderPanic(t *testing.T) {
 				t.Error("leader panic did not propagate out of getOrCompute")
 			}
 		}()
-		store.getOrCompute(key, nil, func() *memoColumn {
+		store.getOrComputeColumn(key, nil, func() *memoColumn {
 			close(entered)
 			<-release
 			panic("injected")
@@ -250,7 +338,7 @@ func TestMemoStoreLeaderPanic(t *testing.T) {
 	local := &memoColumn{gamma: []int64{7}}
 	followerObs := telemetry.New()
 	go func() {
-		followerDone <- store.getOrCompute(key, followerObs, func() *memoColumn { return local })
+		followerDone <- store.getOrComputeColumn(key, followerObs, func() *memoColumn { return local })
 	}()
 	// Only release the leader once the follower is provably parked on
 	// the in-flight entry (the wait counter increments before the
@@ -269,13 +357,13 @@ func TestMemoStoreLeaderPanic(t *testing.T) {
 	// publishes normally.
 	obs := telemetry.New()
 	fresh := &memoColumn{gamma: []int64{9}}
-	if got := store.getOrCompute(key, obs, func() *memoColumn { return fresh }); got != fresh {
+	if got := store.getOrComputeColumn(key, obs, func() *memoColumn { return fresh }); got != fresh {
 		t.Fatal("post-panic requester did not become a fresh leader")
 	}
 	if obs.Metrics.Get(telemetry.CtrMemoMisses) != 1 {
 		t.Error("post-panic requester not counted as a miss")
 	}
-	if got := store.getOrCompute(key, obs, func() *memoColumn { return nil }); got != fresh {
+	if got := store.getOrComputeColumn(key, obs, func() *memoColumn { return nil }); got != fresh {
 		t.Fatal("published post-panic column not served to later requesters")
 	}
 }
@@ -288,7 +376,7 @@ func TestMemoStoreBounded(t *testing.T) {
 	obs := telemetry.New()
 	for i := 0; i < 10*cap; i++ {
 		key := memoKey(sha256.Sum256([]byte{byte(i), byte(i >> 8)}))
-		store.getOrCompute(key, obs, func() *memoColumn { return &memoColumn{} })
+		store.getOrComputeColumn(key, obs, func() *memoColumn { return &memoColumn{} })
 	}
 	if n := store.Len(); n > cap {
 		t.Errorf("store holds %d entries, cap %d", n, cap)

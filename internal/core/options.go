@@ -15,12 +15,15 @@ type Options struct {
 	// keeps the hot path uninstrumented; the inner loop stays
 	// allocation-free (pinned by TestResponseTimeZeroAlloc).
 	Observer *telemetry.Observer
-	// Memo, when non-nil, is a shared content-addressed column store
-	// (memo.go): the interference tables fill their columns from it,
-	// so near-duplicate task sets analyzed against the same store
-	// recompute only the columns their differences invalidate. The
-	// store is safe for concurrent use across analyses. nil — the
-	// default — computes every column locally, exactly as before.
+	// Memo, when non-nil, is a shared content-addressed store
+	// (memo.go) working at two grains: the interference tables fill
+	// their columns from it, and the breakpoint-curve backbones built
+	// from those columns are shared through it too — so near-duplicate
+	// task sets analyzed against the same store recompute only what
+	// their differences invalidate, down to reusing whole materialized
+	// curves copy-free. The store is safe for concurrent use across
+	// analyses. nil — the default — computes everything locally,
+	// exactly as before.
 	Memo *MemoStore
 }
 

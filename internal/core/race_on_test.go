@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this
+// build, so wall-clock gates can skip themselves.
+const raceEnabled = true

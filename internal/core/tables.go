@@ -66,8 +66,12 @@ type row struct {
 	lp [][]taskRef
 	// hasLP reports a lower-priority task on i's own core (the +1 term).
 	hasLP bool
-	// pair is indexed by task index and filled lazily.
+	// pair is indexed by task index, attached on first pair touch
+	// (ensurePairs) and filled lazily per entry.
 	pair []pairTab
+	// built marks the row's task slices as constructed; the pair column
+	// attaches separately so memo-served analyses never need it.
+	built bool
 }
 
 // Tables caches the loop-invariant interference quantities of one task
@@ -88,17 +92,26 @@ type Tables struct {
 	// Γ_x iteration sets of the γ fast path.
 	byCore [][]taskRef
 
-	// rows is indexed by level; a level is built when its pair slice is
-	// non-nil. Value slices (one allocation for all levels) keep the
-	// table build off the allocator's hot path.
+	// rows is indexed by level. Value slices (one allocation for all
+	// levels) keep the table build off the allocator's hot path.
 	rows []row
 	// pairBlock is the n×n backing of the rows' pair slices, allocated
-	// once on first row build.
+	// once on the first pair touch anywhere — an analysis whose curves
+	// are all served from the shared store never pays for it.
 	pairBlock []pairTab
 	// coreOff are the prefix sums of the byCore sizes: core y's tasks
 	// occupy [coreOff[y], coreOff[y+1]) slots of any per-task flat
 	// backing laid out core-by-core.
 	coreOff []int
+	// coreIdx mirrors byCore as dense task indices. Because hep∩Γ_y and
+	// lp∩Γ_y partition byCore[y] in order at every level, one per-core
+	// column serves all levels' remote cursors (only the split differs).
+	coreIdx [][]int32
+	// hepCnt[ii*m+y] is |hep(ii) ∩ Γ_y| — the priority cutoff splitting
+	// byCore[y] into the level's hep prefix and lp tail. It answers the
+	// shape questions of the warm path (curve-key cutoffs, hasLP) without
+	// materializing the row's task slices.
+	hepCnt []int32
 	// curves holds the per-level breakpoint-curve materializations of
 	// the event-driven fixed point (curves.go), filled lazily like the
 	// rows and shared across configurations.
@@ -113,14 +126,20 @@ type Tables struct {
 	// reallocating.
 	scratch []cacheset.Set
 
-	// memo, when non-nil, is the shared content-addressed column store
-	// (memo.go): the curve builds fill whole pair columns from it
-	// instead of computing per pair. gammaDig/persistDig/colKeys cache
-	// the per-task digests and assembled column keys.
+	// memo, when non-nil, is the shared content-addressed store
+	// (memo.go): curve materializations fetch whole backbones from it
+	// and cold builds fill whole pair columns from it instead of
+	// computing per pair. gammaDig/persistDig cache the per-task
+	// digests; chainKeys/chainWM are the dense Merkle-chain arena
+	// (chainSlot) and colKeys the assembled curve keys; kw is the
+	// reusable hash writer all key assembly runs through (keyWriter).
 	memo       *MemoStore
 	gammaDig   []memoKey
 	persistDig []memoKey
+	chainKeys  []memoKey
+	chainWM    []int
 	colKeys    map[uint64]memoKey
+	kw         hashWriter
 }
 
 // PrecomputeTables prepares lazily-filled interference tables for the
@@ -147,7 +166,41 @@ func PrecomputeTables(ts *taskmodel.TaskSet, ap crpd.Approach) *Tables {
 	for y, refs := range tb.byCore {
 		tb.coreOff[y+1] = tb.coreOff[y] + len(refs)
 	}
+	tb.coreIdx = make([][]int32, ts.Platform.NumCores)
+	idxBacking := make([]int32, len(ts.Tasks))
+	for y, refs := range tb.byCore {
+		part := idxBacking[tb.coreOff[y]:tb.coreOff[y+1]]
+		for i, ref := range refs {
+			part[i] = int32(ref.idx)
+		}
+		tb.coreIdx[y] = part
+	}
+	// Levels (tb.tasks) and byCore are both priority-ascending, so each
+	// per-core cutoff column is a single merge walk.
+	m := ts.Platform.NumCores
+	tb.hepCnt = make([]int32, len(ts.Tasks)*m)
+	for y, refs := range tb.byCore {
+		p := 0
+		for ii, t := range tb.tasks {
+			for p < len(refs) && refs[p].t.Priority <= t.Priority {
+				p++
+			}
+			tb.hepCnt[ii*m+y] = int32(p)
+		}
+	}
 	return tb
+}
+
+// hepCount returns |hep(ii) ∩ Γ_y| without building the level's row.
+func (tb *Tables) hepCount(ii, y int) int {
+	return int(tb.hepCnt[ii*tb.ts.Platform.NumCores+y])
+}
+
+// hasLP reports a lower-priority task on level ii's own core (the +1
+// blocking term) without building the row.
+func (tb *Tables) hasLP(ii int) bool {
+	y := tb.tasks[ii].Core
+	return tb.hepCount(ii, y) < len(tb.byCore[y])
 }
 
 // hepEcb returns the cached evicting union for task jj, building its
@@ -169,16 +222,13 @@ func (tb *Tables) hepEcb(jj int) cacheset.Set {
 // involves no cache-set work.
 func (tb *Tables) row(ii int) *row {
 	r := &tb.rows[ii]
-	if r.pair != nil {
+	if r.built {
 		return r
 	}
 	ti := tb.tasks[ii]
 	m := tb.ts.Platform.NumCores
 	n := len(tb.tasks)
-	if tb.pairBlock == nil {
-		tb.pairBlock = make([]pairTab, n*n)
-	}
-	r.pair = tb.pairBlock[ii*n : (ii+1)*n : (ii+1)*n]
+	r.built = true
 	r.hp = make([]taskRef, 0, len(tb.byCore[ti.Core]))
 	// hep[y] ∪ lp[y] partition Γ_y; byCore is priority-ascending, so
 	// the boundary index gives both slices exact, growth-free capacity
@@ -219,11 +269,34 @@ func (tb *Tables) row(ii int) *row {
 	return r
 }
 
+// ensurePairs attaches level ii's pair column. Without a memo store
+// the n×n backing is allocated once and shared by all rows — every
+// level will need its column. With a store attached most columns are
+// never touched (backbones arrive memo-served), so each row gets its
+// own n-sized column on demand and the quadratic block is never paid.
+func (tb *Tables) ensurePairs(ii int, r *row) {
+	if r.pair != nil {
+		return
+	}
+	n := len(tb.tasks)
+	if tb.memo != nil {
+		r.pair = make([]pairTab, n)
+		return
+	}
+	if tb.pairBlock == nil {
+		tb.pairBlock = make([]pairTab, n*n)
+	}
+	r.pair = tb.pairBlock[ii*n : (ii+1)*n : (ii+1)*n]
+}
+
 // pair returns the (level ii, task jj) entry with the γ column filled.
 // The default ECB-union approach is computed in place from the cached
 // evicting union and the core's priority-ordered task list — Eq. (2)
 // with zero allocations; other approaches go through crpd.Gamma.
 func (tb *Tables) pair(ii int, r *row, jj int) *pairTab {
+	if r.pair == nil {
+		tb.ensurePairs(ii, r)
+	}
 	p := &r.pair[jj]
 	if !p.gammaBuilt {
 		p.gamma = tb.computeGamma(ii, jj)

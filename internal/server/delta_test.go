@@ -168,6 +168,9 @@ func TestDeltaByteIdentity(t *testing.T) {
 	if hits := obs.Metrics.Get(telemetry.CtrMemoHits); hits == 0 {
 		t.Error("core.memo_hits = 0 across the delta grid; the memo store is not being reused")
 	}
+	if hits := obs.Metrics.Get(telemetry.CtrCurveMemoHits); hits == 0 {
+		t.Error("core.curve_memo_hits = 0 across the delta grid; curve backbones are not being reused")
+	}
 	if got := obs.Metrics.Get(telemetry.CtrServerDeltaRequests); got != int64(len(deltaGrid())) {
 		t.Errorf("server.delta_requests = %d, want %d", got, len(deltaGrid()))
 	}

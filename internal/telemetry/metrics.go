@@ -45,11 +45,15 @@ const (
 	// resume because their carry-in offset (the remote estimate R_l)
 	// changed since the level was last analyzed.
 	CtrCursorRemoteRefreshes
-	// CtrCurveBuilds counts per-(level, core-column) interference-curve
-	// materializations (curve cache misses).
+	// CtrCurveBuilds counts genuine cold curve-backbone computations:
+	// per-(level, core-column, depth) materializations that actually ran
+	// the term-assembly loop — locally, or as the leader of a curve-memo
+	// miss. Memo-served materializations are *not* builds; they show up
+	// on the core.curve_memo_* family instead, so /metrics can tell
+	// "curve memo working" from "curve cache warm within one analysis".
 	CtrCurveBuilds
-	// CtrCurveHits counts curve lookups served by an already-built
-	// materialization.
+	// CtrCurveHits counts curve lookups served by a backbone already
+	// materialized in the same Tables (warm within one analysis).
 	CtrCurveHits
 	// CtrAbortDeadlineMiss counts Runs aborted by a proven deadline
 	// miss.
@@ -75,6 +79,17 @@ const (
 	CtrMemoWaits
 	CtrMemoMisses
 	CtrMemoEvictions
+	// Curve-backbone memo family: whole materialized breakpoint-curve
+	// backbones (curves.go termCurve slices) shared through the same
+	// content-addressed store, keyed one level up from the table columns
+	// (column sub-key chained with the per-task scalar digests). Same
+	// accounting as the core.memo_* family: hits are served backbones,
+	// waits joined an in-flight build, misses are actual backbone
+	// computations, evictions are capacity drops of curve entries.
+	CtrCurveMemoHits
+	CtrCurveMemoWaits
+	CtrCurveMemoMisses
+	CtrCurveMemoEvictions
 	// CtrJobPanics counts sweep jobs whose analysis (or generation)
 	// panicked and was recovered by the isolation layer. A panicking
 	// job is retried once on the naive reference analyzer; only the
@@ -155,6 +170,10 @@ var counterNames = [numCounters]string{
 	CtrMemoWaits:             "core.memo_waits",
 	CtrMemoMisses:            "core.memo_misses",
 	CtrMemoEvictions:         "core.memo_evictions",
+	CtrCurveMemoHits:         "core.curve_memo_hits",
+	CtrCurveMemoWaits:        "core.curve_memo_waits",
+	CtrCurveMemoMisses:       "core.curve_memo_misses",
+	CtrCurveMemoEvictions:    "core.curve_memo_evictions",
 	CtrJobPanics:             "sweep.job_panics",
 	CtrJobFailures:           "sweep.job_failures",
 	CtrServerRequests:        "server.requests",
