@@ -84,7 +84,7 @@ func TestRunServeCacheAndDrain(t *testing.T) {
 	var runErr error
 	go func() {
 		defer close(done)
-		code, runErr = run(ctx, []string{"-addr", "127.0.0.1:0"}, &out, &errOut)
+		code, runErr = run(ctx, []string{"-addr", "127.0.0.1:0", "-stats-every", "50ms"}, &out, &errOut)
 	}()
 
 	var base string
@@ -153,6 +153,24 @@ func TestRunServeCacheAndDrain(t *testing.T) {
 	}
 	hr.Body.Close()
 
+	// The default JSON access log on stdout carries both requests'
+	// verdicts (the line lands after the response, so poll), and the
+	// rolling stats loop reports request rates on stderr.
+	for _, want := range []string{`"verdict":"fresh"`, `"verdict":"cached"`} {
+		for !bytes.Contains([]byte(out.String()), []byte(want)) {
+			if time.Now().After(deadline) {
+				t.Fatalf("access log missing %s:\n%s", want, out.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for !bytes.Contains([]byte(errOut.String()), []byte("req/s")) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats line never appeared on stderr:\n%s", errOut.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
 	cancel()
 	select {
 	case <-done:
@@ -174,6 +192,92 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if code, err := run(context.Background(), []string{"-no-such-flag"}, &out, &errOut); err == nil || code != 1 {
 		t.Errorf("unknown flag: code=%d err=%v, want a failure", code, err)
+	}
+	if code, err := run(context.Background(), []string{"-log-format", "xml"}, &out, &errOut); err == nil || code != 1 {
+		t.Errorf("bad log format: code=%d err=%v, want a failure", code, err)
+	}
+}
+
+// TestAccessLogFileAndTrace: -access-log writes text-format lines to a
+// file, and -trace exports a Chrome trace with request spans on exit.
+func TestAccessLogFileAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	logPath := dir + "/access.log"
+	tracePath := dir + "/trace.json"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errOut syncBuffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		code, err := run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-access-log", logPath, "-log-format", "text",
+			"-trace", tracePath,
+		}, &out, &errOut)
+		if code != 0 || err != nil {
+			t.Errorf("run: code=%d err=%v", code, err)
+		}
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address:\n%s\n%s", out.String(), errOut.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(analyzeBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+
+	logData, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"verdict=fresh", "path=/v1/analyze", "stage.analyze_us="} {
+		if !bytes.Contains(logData, []byte(want)) {
+			t.Errorf("access-log file missing %q:\n%s", want, logData)
+		}
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		Events []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &trace); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	var sawRequest bool
+	for _, e := range trace.Events {
+		if e.Name == "request /v1/analyze" {
+			sawRequest = true
+		}
+	}
+	if !sawRequest {
+		t.Errorf("trace missing the request span (%d events)", len(trace.Events))
 	}
 }
 

@@ -47,13 +47,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	timeout := fs.Duration("timeout", 0, "per-request deadline while queued (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	metrics := fs.Bool("metrics", false, "print the counter summary on exit")
+	accessLog := fs.String("access-log", "stdout", "access-log destination: stdout, stderr, off, or a file path")
+	logFormat := fs.String("log-format", "json", "access-log format: json or text")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file with request spans on exit")
+	statsEvery := fs.Duration("stats-every", 0, "print rolling request-rate/latency lines to stderr at this interval (0 = off)")
 	verbose := fs.Bool("v", false, "enable debug logging")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
+	if *logFormat != "json" && *logFormat != "text" {
+		return 1, fmt.Errorf("-log-format must be json or text, got %q", *logFormat)
+	}
 
 	sess, err := telemetry.StartSession(telemetry.SessionOptions{
-		Tool: "buscond", Metrics: *metrics, Verbose: *verbose, Out: stderr,
+		Tool: "buscond", Metrics: *metrics, TracePath: *tracePath, Verbose: *verbose, Out: stderr,
 	})
 	if err != nil {
 		return 1, err
@@ -69,17 +76,62 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 		// unconditionally so /metrics always has data.
 		obs = telemetry.New()
 	}
+	if obs.Metrics == nil {
+		obs.Metrics = telemetry.NewMetrics()
+	}
+
+	var accessW io.Writer
+	var accessFile *os.File
+	switch *accessLog {
+	case "off", "":
+	case "stdout":
+		accessW = stdout
+	case "stderr":
+		accessW = stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return 1, fmt.Errorf("access log: %w", err)
+		}
+		accessFile = f
+		accessW = f
+		defer accessFile.Close()
+	}
 
 	srv := server.New(server.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		CacheTTL:       *cacheTTL,
-		MemoEntries:    *memoEntries,
-		BaseEntries:    *baseEntries,
-		RequestTimeout: *timeout,
-		Observer:       obs,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		CacheTTL:        *cacheTTL,
+		MemoEntries:     *memoEntries,
+		BaseEntries:     *baseEntries,
+		RequestTimeout:  *timeout,
+		Observer:        obs,
+		AccessLog:       accessW,
+		AccessLogFormat: *logFormat,
 	})
+
+	// Rolling operator stats: interval deltas over the shared metrics
+	// sink, so each line reads as "what happened since the last one".
+	if *statsEvery > 0 {
+		roller := telemetry.NewRoller(obs.Metrics)
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				d := roller.Roll()
+				line := fmt.Sprintf("buscond: %.1f req/s", d.Rate("server.requests"))
+				if h, ok := d.Hists["server.request_us"]; ok {
+					line += fmt.Sprintf(" p50=%.0fµs p95=%.0fµs p99=%.0fµs",
+						h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+				}
+				if shed := d.Counters["server.shed"]; shed > 0 {
+					line += fmt.Sprintf(" shed=%d", shed)
+				}
+				fmt.Fprintln(stderr, line)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,644 @@
+// Command loadgen replays synthetic analysis workloads against a
+// running buscond and reports client-side latency distributions —
+// the measurement harness for the serving layer (DESIGN.md §13).
+//
+// A workload is a mix of three request classes over a pool of
+// generated base task sets:
+//
+//	fresh  a never-seen-before variant (one task's PD nudged by a
+//	       monotone nonce), forcing a full engine analysis
+//	dup    a verbatim re-POST of a base request, expecting the result
+//	       cache (or coalescing) to answer
+//	delta  POST /v1/analyze/delta against a base key with one pd edit,
+//	       exercising the incremental path and the engine memo
+//
+// loadgen runs closed-loop (-workers concurrent clients, each issuing
+// the next request as soon as the previous answers) or open-loop
+// (-rate requests/s dispatched on a fixed schedule, bounded by
+// -max-inflight). Latencies are recorded per class in the same log2
+// histograms the daemon uses (internal/telemetry), so client p50/p95/
+// p99 and the server's /metrics stage quantiles are directly
+// comparable; with -check the client's request and shed counts are
+// cross-checked against the server's /metrics counter deltas.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -duration 10s -workers 8 \
+//	        -mix fresh=0.2,dup=0.6,delta=0.2
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/taskgen"
+	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
+)
+
+// classes of the workload mix, in mix-string order.
+var classNames = []string{"fresh", "dup", "delta"}
+
+const (
+	classFresh = iota
+	classDup
+	classDelta
+	numClasses
+)
+
+// base is one generated task set the workload revolves around: its
+// verbatim request body (the dup class), its canonical key (the delta
+// class) and the handles needed to synthesize fresh variants.
+type base struct {
+	ts     *taskmodel.TaskSet
+	body   []byte // full /v1/analyze request
+	key    string // canonical key learned during warmup
+	prio   int    // task 0's unique priority (delta edit selector)
+	basePD int64  // task 0's original PD (edit value range)
+}
+
+// classStats accumulates one request class's client-side outcomes.
+// The histogram records end-to-end latency in microseconds for
+// requests that got any HTTP response.
+type classStats struct {
+	sent      atomic.Int64
+	ok        atomic.Int64 // HTTP 200
+	shed      atomic.Int64 // HTTP 429
+	timeout   atomic.Int64 // HTTP 504
+	errored   atomic.Int64 // other HTTP statuses
+	transport atomic.Int64 // no HTTP response at all
+	lat       telemetry.Histogram
+}
+
+// report is the machine-readable run summary (-json).
+type report struct {
+	DurationS float64                `json:"duration_s"`
+	Requests  int64                  `json:"requests"`
+	OK        int64                  `json:"ok"`
+	Shed      int64                  `json:"shed"`
+	Timeouts  int64                  `json:"timeouts"`
+	Errors    int64                  `json:"errors"`
+	Transport int64                  `json:"transport_errors"`
+	Dropped   int64                  `json:"dropped,omitempty"` // open loop: max-inflight exceeded
+	ShedRate  float64                `json:"shed_rate"`
+	RateRPS   float64                `json:"rate_rps"`
+	Classes   map[string]classReport `json:"classes"`
+	Server    *serverCheck           `json:"server_check,omitempty"`
+	Stages    map[string]quantiles   `json:"server_stages,omitempty"`
+	Partial   bool                   `json:"partial,omitempty"` // interrupted before -duration
+}
+
+type classReport struct {
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Shed     int64 `json:"shed,omitempty"`
+	Timeouts int64 `json:"timeouts,omitempty"`
+	Errors   int64 `json:"errors,omitempty"`
+	quantiles
+}
+
+type quantiles struct {
+	Count int64   `json:"count"`
+	P50US float64 `json:"p50_us"`
+	P95US float64 `json:"p95_us"`
+	P99US float64 `json:"p99_us"`
+	MaxUS int64   `json:"max_us"`
+}
+
+func quantilesOf(s telemetry.HistSnapshot) quantiles {
+	return quantiles{
+		Count: s.Count,
+		P50US: s.Quantile(0.50),
+		P95US: s.Quantile(0.95),
+		P99US: s.Quantile(0.99),
+		MaxUS: s.Max,
+	}
+}
+
+// serverCheck is the client-vs-server accounting cross-check.
+type serverCheck struct {
+	OK             bool   `json:"ok"`
+	Skipped        bool   `json:"skipped,omitempty"`
+	Reason         string `json:"reason,omitempty"`
+	ServerRequests int64  `json:"server_requests_delta"`
+	ClientExpected int64  `json:"client_expected"`
+	ServerShed     int64  `json:"server_shed_delta"`
+	ClientShed     int64  `json:"client_shed"`
+}
+
+// metricsDoc is the slice of the daemon's JSON /metrics document the
+// harness consumes. Histograms decode as full snapshots so baseline
+// subtraction yields interval quantiles.
+type metricsDoc struct {
+	Counters   map[string]int64                  `json:"counters"`
+	Histograms map[string]telemetry.HistSnapshot `json:"histograms"`
+}
+
+func scrape(client *http.Client, addr string) (metricsDoc, error) {
+	var doc metricsDoc
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	return doc, json.NewDecoder(resp.Body).Decode(&doc)
+}
+
+// parseMix turns "fresh=0.2,dup=0.6,delta=0.2" into normalized class
+// weights.
+func parseMix(s string) ([numClasses]float64, error) {
+	var w [numClasses]float64
+	var sum float64
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return w, fmt.Errorf("mix entry %q: want class=weight", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return w, fmt.Errorf("mix entry %q: bad weight", part)
+		}
+		idx := -1
+		for i, n := range classNames {
+			if n == name {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return w, fmt.Errorf("mix entry %q: unknown class (want fresh, dup or delta)", part)
+		}
+		w[idx] = f
+		sum += f
+	}
+	if sum <= 0 {
+		return w, fmt.Errorf("mix %q: weights sum to zero", s)
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w, nil
+}
+
+// pickClass draws a class index from the weights.
+func pickClass(w [numClasses]float64, rng *rand.Rand) int {
+	f := rng.Float64()
+	var cum float64
+	for i := 0; i < numClasses-1; i++ {
+		cum += w[i]
+		if f < cum {
+			return i
+		}
+	}
+	return numClasses - 1
+}
+
+// analyzeBody wraps a task set into a full /v1/analyze request body.
+func analyzeBody(ts *taskmodel.TaskSet) ([]byte, error) {
+	var tsBuf bytes.Buffer
+	if err := ts.WriteJSON(&tsBuf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(map[string]any{
+		"taskset": json.RawMessage(tsBuf.Bytes()),
+		"configs": []map[string]any{{"arbiter": "fp", "persistence": true}},
+	})
+}
+
+// freshBody synthesizes a never-seen request: the base with task 0's
+// PD set to 1 + nonce mod basePD. Lowering one task's execution
+// demand keeps the set valid under every taskmodel constraint while
+// the monotone nonce guarantees a canonical key the server has not
+// cached (within one run).
+func freshBody(b *base, nonce uint64) ([]byte, error) {
+	tasks := make([]*taskmodel.Task, len(b.ts.Tasks))
+	for i, t := range b.ts.Tasks {
+		c := *t
+		tasks[i] = &c
+	}
+	tasks[0].PD = taskmodel.Time(1 + int64(nonce)%b.basePD)
+	return analyzeBody(taskmodel.NewTaskSet(b.ts.Platform, tasks))
+}
+
+// deltaBody phrases the same pd nudge as an incremental request
+// against the base's learned key.
+func deltaBody(b *base, nonce uint64) ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"base_key": b.key,
+		"edits": []map[string]any{
+			{"priority": b.prio, "field": "pd", "value": 1 + int64(nonce)%b.basePD},
+		},
+	})
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "buscond base URL")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	workers := fs.Int("workers", 4, "closed-loop concurrent clients (ignored when -rate > 0)")
+	rate := fs.Float64("rate", 0, "open-loop dispatch rate in requests/s (0 = closed loop)")
+	maxInflight := fs.Int("max-inflight", 64, "open-loop bound on concurrent requests; excess dispatches are dropped client-side")
+	mixStr := fs.String("mix", "fresh=0.2,dup=0.6,delta=0.2", "request class mix (fresh=duplicate-free, dup=verbatim re-POST, delta=incremental edit)")
+	nBases := fs.Int("bases", 4, "distinct base task sets to generate")
+	seed := fs.Int64("seed", 1, "RNG seed for task-set generation and the class draw")
+	cores := fs.Int("cores", 4, "cores per generated task set")
+	perCore := fs.Int("tasks-per-core", 8, "tasks per core")
+	util := fs.Float64("util", 0.5, "per-core utilization target")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	check := fs.Bool("check", true, "cross-check client counts against the server's /metrics deltas")
+	jsonOut := fs.Bool("json", false, "write the report as JSON to stdout instead of text")
+	progress := fs.Duration("progress", 0, "print rolling progress lines to stderr at this interval (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	mix, err := parseMix(*mixStr)
+	if err != nil {
+		return 1, err
+	}
+	if *nBases < 1 || *workers < 1 || *maxInflight < 1 {
+		return 1, fmt.Errorf("-bases, -workers and -max-inflight must be >= 1")
+	}
+	baseURL := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	// Generate the base pool: distinct seeds => distinct task sets =>
+	// distinct canonical keys.
+	genCfg := taskgen.Config{
+		Platform: taskmodel.Platform{
+			NumCores: *cores,
+			Cache:    taskmodel.CacheConfig{NumSets: 256, BlockSizeBytes: 32},
+			DMem:     5,
+			SlotSize: 2,
+		},
+		TasksPerCore:    *perCore,
+		CoreUtilization: *util,
+	}
+	pool, err := taskgen.PoolFromSuite(genCfg.Platform.Cache)
+	if err != nil {
+		return 1, err
+	}
+	bases := make([]*base, *nBases)
+	for i := range bases {
+		ts, err := taskgen.Generate(genCfg, pool, rand.New(rand.NewSource(*seed+int64(i))))
+		if err != nil {
+			return 1, fmt.Errorf("generating base %d: %w", i, err)
+		}
+		body, err := analyzeBody(ts)
+		if err != nil {
+			return 1, err
+		}
+		bases[i] = &base{ts: ts, body: body, prio: ts.Tasks[0].Priority, basePD: int64(ts.Tasks[0].PD)}
+		if bases[i].basePD < 1 {
+			bases[i].basePD = 1
+		}
+	}
+
+	// Warmup: POST each base once to learn its canonical key (the delta
+	// class addresses bases by key) and prime the caches the dup class
+	// expects to hit.
+	for i, b := range bases {
+		resp, err := client.Post(baseURL+"/v1/analyze", "application/json", bytes.NewReader(b.body))
+		if err != nil {
+			return 1, fmt.Errorf("warmup base %d: %w (is buscond running at %s?)", i, err, baseURL)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 1, fmt.Errorf("warmup base %d: status %d\n%s", i, resp.StatusCode, data)
+		}
+		var env struct {
+			Key string `json:"key"`
+		}
+		if err := json.Unmarshal(data, &env); err != nil || env.Key == "" {
+			return 1, fmt.Errorf("warmup base %d: no key in response: %v", i, err)
+		}
+		b.key = env.Key
+	}
+	fmt.Fprintf(stderr, "loadgen: %d bases warmed against %s\n", len(bases), baseURL)
+
+	// Counter baseline after warmup, so the run-phase deltas cover only
+	// generated load (plus any unrelated traffic — the check assumes an
+	// otherwise idle daemon).
+	var baseline metricsDoc
+	if *check {
+		if baseline, err = scrape(client, baseURL); err != nil {
+			return 1, fmt.Errorf("baseline scrape: %w", err)
+		}
+	}
+
+	stats := make([]*classStats, numClasses)
+	for i := range stats {
+		stats[i] = &classStats{}
+	}
+	var total classStats
+	var nonce atomic.Uint64
+	var dropped atomic.Int64
+
+	// fire issues one request of the given class and records the
+	// outcome. rng use is confined to the caller (class choice + base
+	// choice indices are passed in).
+	fire := func(class, baseIdx int) {
+		b := bases[baseIdx]
+		var path string
+		var body []byte
+		var err error
+		switch class {
+		case classFresh:
+			path, body, err = "/v1/analyze", nil, nil
+			body, err = freshBody(b, nonce.Add(1))
+		case classDup:
+			path, body = "/v1/analyze", b.body
+		case classDelta:
+			path, body, err = "/v1/analyze/delta", nil, nil
+			body, err = deltaBody(b, nonce.Add(1))
+		}
+		if err != nil {
+			stats[class].transport.Add(1)
+			total.transport.Add(1)
+			return
+		}
+		stats[class].sent.Add(1)
+		total.sent.Add(1)
+		start := time.Now()
+		resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			stats[class].transport.Add(1)
+			total.transport.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		us := time.Since(start).Microseconds()
+		stats[class].lat.Observe(us)
+		total.lat.Observe(us)
+		var ok, shed, to *atomic.Int64
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok = &stats[class].ok
+		case http.StatusTooManyRequests:
+			shed = &stats[class].shed
+		case http.StatusGatewayTimeout:
+			to = &stats[class].timeout
+		default:
+			stats[class].errored.Add(1)
+			total.errored.Add(1)
+		}
+		if ok != nil {
+			ok.Add(1)
+			total.ok.Add(1)
+		}
+		if shed != nil {
+			shed.Add(1)
+			total.shed.Add(1)
+		}
+		if to != nil {
+			to.Add(1)
+			total.timeout.Add(1)
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+
+	if *progress > 0 {
+		ticker := time.NewTicker(*progress)
+		defer ticker.Stop()
+		go func() {
+			var last int64
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-ticker.C:
+					cur := total.sent.Load()
+					fmt.Fprintf(stderr, "loadgen: %d sent (+%.0f/s) shed=%d\n",
+						cur, float64(cur-last)/progress.Seconds(), total.shed.Load())
+					last = cur
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if *rate > 0 {
+		// Open loop: dispatch on a fixed schedule regardless of
+		// completions, bounded by -max-inflight.
+		sem := make(chan struct{}, *maxInflight)
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		rng := rand.New(rand.NewSource(*seed))
+	dispatch:
+		for {
+			select {
+			case <-runCtx.Done():
+				break dispatch
+			case <-ticker.C:
+				class, baseIdx := pickClass(mix, rng), rng.Intn(len(bases))
+				select {
+				case sem <- struct{}{}:
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-sem }()
+						fire(class, baseIdx)
+					}()
+				default:
+					dropped.Add(1)
+				}
+			}
+		}
+	} else {
+		// Closed loop: each worker issues its next request as soon as
+		// the previous one answers.
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed + 1000*int64(w)))
+				for runCtx.Err() == nil {
+					fire(pickClass(mix, rng), rng.Intn(len(bases)))
+				}
+			}(w)
+		}
+		<-runCtx.Done()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	interrupted := ctx.Err() != nil
+
+	// Build the report.
+	rep := report{
+		DurationS: elapsed.Seconds(),
+		Requests:  total.sent.Load(),
+		OK:        total.ok.Load(),
+		Shed:      total.shed.Load(),
+		Timeouts:  total.timeout.Load(),
+		Errors:    total.errored.Load(),
+		Transport: total.transport.Load(),
+		Dropped:   dropped.Load(),
+		Classes:   map[string]classReport{},
+		Partial:   interrupted,
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+		rep.RateRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	for i, cs := range stats {
+		if cs.sent.Load() == 0 {
+			continue
+		}
+		rep.Classes[classNames[i]] = classReport{
+			Requests:  cs.sent.Load(),
+			OK:        cs.ok.Load(),
+			Shed:      cs.shed.Load(),
+			Timeouts:  cs.timeout.Load(),
+			Errors:    cs.errored.Load(),
+			quantiles: quantilesOf(cs.lat.Snapshot()),
+		}
+	}
+
+	if *check {
+		final, err := scrape(client, baseURL)
+		if err != nil {
+			return 1, fmt.Errorf("final scrape: %w", err)
+		}
+		rep.Server = crossCheck(baseline, final, &total, stats)
+		rep.Stages = map[string]quantiles{}
+		for name, cur := range final.Histograms {
+			stage, ok := strings.CutPrefix(name, "server.stage_")
+			if !ok {
+				continue
+			}
+			d := cur.Sub(baseline.Histograms[name])
+			if d.Count > 0 {
+				rep.Stages[strings.TrimSuffix(stage, "_us")] = quantilesOf(d)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 1, err
+		}
+	} else {
+		writeTextReport(stdout, rep)
+	}
+	if interrupted {
+		return 130, nil
+	}
+	if rep.Server != nil && !rep.Server.OK && !rep.Server.Skipped {
+		return 1, fmt.Errorf("server cross-check failed: server saw %d requests, client expected %d (shed %d vs %d)",
+			rep.Server.ServerRequests, rep.Server.ClientExpected, rep.Server.ServerShed, rep.Server.ClientShed)
+	}
+	return 0, nil
+}
+
+// crossCheck compares the server's counter deltas against the
+// client's own accounting. Every well-formed analyze/dup request and
+// every delta that resolved a base increments server.requests exactly
+// once; transport errors make the mapping ambiguous (the server may or
+// may not have counted the aborted request), so the check is skipped
+// rather than reported as a mismatch.
+func crossCheck(baseline, final metricsDoc, total *classStats, stats []*classStats) *serverCheck {
+	sc := &serverCheck{
+		ServerRequests: final.Counters["server.requests"] - baseline.Counters["server.requests"],
+		ServerShed:     final.Counters["server.shed"] - baseline.Counters["server.shed"],
+		ClientShed:     total.shed.Load(),
+	}
+	// 404 delta base-misses never reach the analyze path, and 400s die
+	// at decode; both are in errored. Treat all errored responses as
+	// not-counted — exact for 400/404, which are the only error
+	// statuses the harness's well-formed traffic can draw, besides 500
+	// (counted, but a 500 also fails the run loudly in the report).
+	sc.ClientExpected = total.sent.Load() - total.transport.Load() - total.errored.Load()
+	if total.transport.Load() > 0 {
+		sc.Skipped = true
+		sc.Reason = "transport errors make server-side accounting ambiguous"
+		return sc
+	}
+	sc.OK = sc.ServerRequests == sc.ClientExpected && sc.ServerShed == sc.ClientShed
+	return sc
+}
+
+func writeTextReport(w io.Writer, rep report) {
+	fmt.Fprintf(w, "loadgen: %d requests in %.2fs (%.1f req/s), %d ok, %d shed (%.1f%%), %d timeouts, %d errors, %d transport\n",
+		rep.Requests, rep.DurationS, rep.RateRPS, rep.OK, rep.Shed, 100*rep.ShedRate, rep.Timeouts, rep.Errors, rep.Transport)
+	if rep.Dropped > 0 {
+		fmt.Fprintf(w, "loadgen: %d dispatches dropped client-side (max-inflight)\n", rep.Dropped)
+	}
+	names := make([]string, 0, len(rep.Classes))
+	for n := range rep.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := rep.Classes[n]
+		fmt.Fprintf(w, "  %-6s n=%-6d p50=%.0fµs p95=%.0fµs p99=%.0fµs max=%dµs\n",
+			n, c.Requests, c.P50US, c.P95US, c.P99US, c.MaxUS)
+	}
+	if len(rep.Stages) > 0 {
+		fmt.Fprintln(w, "server stages (interval):")
+		stages := make([]string, 0, len(rep.Stages))
+		for n := range rep.Stages {
+			stages = append(stages, n)
+		}
+		sort.Strings(stages)
+		for _, n := range stages {
+			q := rep.Stages[n]
+			fmt.Fprintf(w, "  %-9s n=%-6d p50=%.0fµs p95=%.0fµs p99=%.0fµs\n", n, q.Count, q.P50US, q.P95US, q.P99US)
+		}
+	}
+	if rep.Server != nil {
+		switch {
+		case rep.Server.Skipped:
+			fmt.Fprintf(w, "server check: skipped (%s)\n", rep.Server.Reason)
+		case rep.Server.OK:
+			fmt.Fprintf(w, "server check: ok (server saw %d requests, shed %d — matches)\n",
+				rep.Server.ServerRequests, rep.Server.ServerShed)
+		default:
+			fmt.Fprintf(w, "server check: MISMATCH (server %d requests vs client %d; shed %d vs %d)\n",
+				rep.Server.ServerRequests, rep.Server.ClientExpected, rep.Server.ServerShed, rep.Server.ClientShed)
+		}
+	}
+	if rep.Partial {
+		fmt.Fprintln(w, "loadgen: interrupted — report covers a partial run")
+	}
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

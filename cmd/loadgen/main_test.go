@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("fresh=1,dup=2,delta=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[classFresh] != 0.25 || w[classDup] != 0.5 || w[classDelta] != 0.25 {
+		t.Errorf("weights = %v, want normalized 0.25/0.5/0.25", w)
+	}
+	for _, bad := range []string{"", "fresh", "warp=1", "fresh=-1", "fresh=0,dup=0,delta=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+	// Degenerate single-class mixes are fine.
+	if w, err := parseMix("dup=3"); err != nil || w[classDup] != 1 {
+		t.Errorf("single-class mix: %v, %v", w, err)
+	}
+}
+
+func TestPickClassRespectsWeights(t *testing.T) {
+	w, _ := parseMix("fresh=0.5,dup=0.5,delta=0")
+	rng := rand.New(rand.NewSource(1))
+	counts := [numClasses]int{}
+	for i := 0; i < 10000; i++ {
+		counts[pickClass(w, rng)]++
+	}
+	if counts[classDelta] != 0 {
+		t.Errorf("zero-weight class drawn %d times", counts[classDelta])
+	}
+	if counts[classFresh] < 4000 || counts[classDup] < 4000 {
+		t.Errorf("50/50 mix skewed: %v", counts)
+	}
+}
+
+// TestLoadgenEndToEnd drives the full harness against an in-process
+// daemon: mixed workload, JSON report, client/server cross-check.
+func TestLoadgenEndToEnd(t *testing.T) {
+	hs := httptest.NewServer(server.New(server.Options{}).Handler())
+	defer hs.Close()
+
+	var out, errOut bytes.Buffer
+	code, err := run(context.Background(), []string{
+		"-addr", hs.URL,
+		"-duration", "400ms",
+		"-workers", "3",
+		"-bases", "2",
+		"-cores", "2", "-tasks-per-core", "3", "-util", "0.3",
+		"-mix", "fresh=0.3,dup=0.4,delta=0.3",
+		"-json",
+	}, &out, &errOut)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v\nstderr:\n%s", code, err, errOut.String())
+	}
+
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requests < 3 {
+		t.Fatalf("only %d requests in 400ms closed loop", rep.Requests)
+	}
+	if rep.OK != rep.Requests {
+		t.Errorf("ok=%d != requests=%d (shed=%d timeouts=%d errors=%d transport=%d)",
+			rep.OK, rep.Requests, rep.Shed, rep.Timeouts, rep.Errors, rep.Transport)
+	}
+	if rep.Server == nil {
+		t.Fatal("report missing server_check")
+	}
+	if !rep.Server.OK {
+		t.Errorf("server cross-check failed: %+v", rep.Server)
+	}
+	if len(rep.Classes) != 3 {
+		t.Errorf("classes = %v, want all three exercised", rep.Classes)
+	}
+	for name, c := range rep.Classes {
+		if c.Count != c.Requests {
+			t.Errorf("class %s: %d latency observations for %d requests", name, c.Count, c.Requests)
+		}
+		if c.P99US < c.P50US || c.P99US <= 0 {
+			t.Errorf("class %s: quantiles disordered: %+v", name, c)
+		}
+	}
+	// The mixed workload must have exercised the analyze and cache
+	// stages server-side. Stage flushes land after the response write,
+	// so the final scrape may miss the last few in-flight requests —
+	// assert presence, not exact counts.
+	if len(rep.Stages) == 0 {
+		t.Fatal("report missing server stage quantiles")
+	}
+	for _, stage := range []string{"analyze", "cache"} {
+		if q, ok := rep.Stages[stage]; !ok || q.Count <= 0 {
+			t.Errorf("%s stage quantiles missing: %+v", stage, rep.Stages)
+		}
+	}
+}
+
+// TestLoadgenTextReport exercises the human-readable output and the
+// dup-only degenerate mix (pure cache-hit traffic).
+func TestLoadgenTextReport(t *testing.T) {
+	hs := httptest.NewServer(server.New(server.Options{}).Handler())
+	defer hs.Close()
+
+	var out, errOut bytes.Buffer
+	code, err := run(context.Background(), []string{
+		"-addr", hs.URL,
+		"-duration", "200ms",
+		"-workers", "2",
+		"-bases", "1",
+		"-cores", "2", "-tasks-per-core", "2", "-util", "0.3",
+		"-mix", "dup=1",
+	}, &out, &errOut)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v\nstderr:\n%s", code, err, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"req/s", "dup", "p99=", "server check: ok", "server stages"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code, _ := run(context.Background(), []string{"-mix", "warp=1"}, &out, &errOut); code != 1 {
+		t.Errorf("bad mix accepted (code %d)", code)
+	}
+	if code, _ := run(context.Background(), []string{"-bases", "0"}, &out, &errOut); code != 1 {
+		t.Errorf("zero bases accepted (code %d)", code)
+	}
+	// Unreachable daemon fails at warmup, not silently.
+	if code, err := run(context.Background(), []string{"-addr", "http://127.0.0.1:1", "-duration", "50ms"}, &out, &errOut); code != 1 || err == nil {
+		t.Errorf("unreachable daemon: code=%d err=%v, want failure", code, err)
+	}
+}

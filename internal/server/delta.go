@@ -292,13 +292,19 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	oc, err := s.analyze(r.Context(), ts, cfgs)
+	ri := reqInfoFrom(r.Context())
+	oc, err := s.analyze(r.Context(), ri, ts, cfgs)
 	if err != nil {
 		s.writeError(w, statusOf(err), err)
 		return
 	}
+	// A successful delta logs as "delta" regardless of how the edited
+	// request resolved underneath (fresh, cached or coalesced).
+	ri.forceVerdict("delta")
+	tm := ri.stageTimer().Now()
 	s.writeJSON(w, http.StatusOK, wireDeltaResponse{
 		Key: oc.key, BaseKey: req.BaseKey,
 		Cached: oc.cached, Coalesced: oc.coalesced, Results: oc.raw,
 	})
+	ri.stageTimer().AddSince(telemetry.StageMarshal, tm)
 }

@@ -20,10 +20,16 @@
 //	POST /v1/analyze/batch  several of the above in one round trip
 //	POST /v1/analyze/delta  a recent request's key plus a list of edits
 //	GET  /healthz           liveness (503 while draining)
-//	GET  /metrics           telemetry counters as JSON
+//	GET  /metrics           counters, gauges and stage-latency
+//	                        histograms as JSON; Prometheus 0.0.4 text
+//	                        exposition with ?format=prometheus
 //	GET  /debug/pprof/*     standard pprof handlers
 //
-// See DESIGN.md §11 for the full contract.
+// Every non-pprof request carries an ID (X-Request-ID passthrough or
+// generated), is timed per lifecycle stage (queue, cache, coalesce,
+// analyze, marshal), and can emit one structured access-log line
+// (Options.AccessLog). See DESIGN.md §11 for the API contract and §13
+// for the observability layer.
 package server
 
 import (
@@ -31,9 +37,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,8 +87,15 @@ type Options struct {
 	// RetryAfter is the hint attached to 429 responses; 0 selects 1s.
 	RetryAfter time.Duration
 	// Observer receives the server.* counter family and is forwarded to
-	// the engine. nil disables counting.
+	// the engine. nil selects a fresh metrics-only observer so /metrics
+	// always has data.
 	Observer *telemetry.Observer
+	// AccessLog receives one structured line per request (DESIGN.md
+	// §13); nil disables access logging.
+	AccessLog io.Writer
+	// AccessLogFormat selects the access-log rendering: "json"
+	// (default) or "text".
+	AccessLogFormat string
 	// Now overrides the cache clock (tests). nil selects time.Now.
 	Now func() time.Time
 }
@@ -96,6 +111,9 @@ type Server struct {
 	sem      chan struct{} // worker slots
 	tickets  chan struct{} // worker slots + waiting room; full => shed
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the instrument middleware
+	access   *accessLogger
+	inflight atomic.Int64
 	draining atomic.Bool
 }
 
@@ -132,6 +150,9 @@ func New(opts Options) *Server {
 	if opts.MemoEntries >= 0 {
 		memo = core.NewMemoStore(opts.MemoEntries)
 	}
+	if opts.Observer == nil {
+		opts.Observer = telemetry.New()
+	}
 	s := &Server{
 		opts:    opts,
 		obs:     opts.Observer,
@@ -141,6 +162,7 @@ func New(opts Options) *Server {
 		bases:   newBaseRegistry(opts.BaseEntries),
 		sem:     make(chan struct{}, opts.Workers),
 		tickets: make(chan struct{}, opts.Workers+opts.QueueDepth),
+		access:  newAccessLogger(opts.AccessLog, opts.AccessLogFormat),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
@@ -154,11 +176,24 @@ func New(opts Options) *Server {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.mux = mux
+	s.handler = s.instrument(mux)
 	return s
 }
 
-// Handler returns the root handler; mount it on an http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler — the instrument middleware
+// (request IDs, stage timing, access log) around the mux; mount it on
+// an http.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// queueDepth is how many admitted requests currently wait for a worker
+// slot: tickets held beyond the occupied semaphore slots.
+func (s *Server) queueDepth() int64 {
+	d := int64(len(s.tickets)) - int64(len(s.sem))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
 
 // StartDrain flips /healthz to 503 so load balancers stop routing new
 // traffic; in-flight requests are unaffected. The caller (cmd/buscond)
@@ -184,39 +219,75 @@ type outcome struct {
 }
 
 // analyze resolves one request through cache → coalescing → admission
-// → engine. ctx is the *waiting* context (the client's); the engine
-// runs detached so a coalesced result is never poisoned by one
-// client's disconnect.
-func (s *Server) analyze(ctx context.Context, ts *taskmodel.TaskSet, cfgs []core.Config) (outcome, error) {
+// → engine, charging each stage to the request's timer. ctx is the
+// *waiting* context (the client's); the engine runs detached so a
+// coalesced result is never poisoned by one client's disconnect. ri
+// carries the per-request observability record and may be nil.
+func (s *Server) analyze(ctx context.Context, ri *reqInfo, ts *taskmodel.TaskSet, cfgs []core.Config) (outcome, error) {
+	st := ri.stageTimer()
 	s.obs.Add(telemetry.CtrServerRequests, 1)
+	t0 := st.Now()
 	key := core.CanonicalKey(ts, cfgs)
 	// Every analyzed request is addressable as a delta base — including
 	// the edited sets produced by deltas themselves, so sweeps chain.
 	s.bases.put(key, ts, cfgs)
-	if raw, ok := s.cache.get(key); ok {
+	raw, hit := s.cache.get(key)
+	st.AddSince(telemetry.StageCache, t0)
+	if hit {
 		s.obs.Add(telemetry.CtrServerCacheHits, 1)
+		ri.addCacheHit()
+		ri.setVerdict("cached")
 		return outcome{key: key, raw: raw, cached: true}, nil
 	}
 	s.obs.Add(telemetry.CtrServerCacheMisses, 1)
+	tw := st.Now()
 	raw, shared, err := s.flight.do(ctx, key, func() (json.RawMessage, error) {
-		return s.compute(key, ts, cfgs)
+		return s.compute(ri, key, ts, cfgs)
 	})
 	if shared {
+		// Only the follower's wait is a coalesce stage; the leader's time
+		// is decomposed inside compute.
+		st.AddSince(telemetry.StageCoalesce, tw)
 		s.obs.Add(telemetry.CtrServerCoalesced, 1)
+		ri.addCoalesced()
 	}
 	if err != nil {
+		ri.setVerdict(verdictOf(err))
 		return outcome{key: key}, err
+	}
+	if shared {
+		ri.setVerdict("coalesced")
+	} else {
+		ri.setVerdict("fresh")
 	}
 	return outcome{key: key, raw: raw, coalesced: shared}, nil
 }
 
+// verdictOf maps an analysis error to its access-log verdict.
+func verdictOf(err error) string {
+	switch {
+	case errors.Is(err, errShed):
+		return "shed"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
 // compute is the flight leader's path: admission, the engine, the
-// cache fill.
-func (s *Server) compute(key string, ts *taskmodel.TaskSet, cfgs []core.Config) (json.RawMessage, error) {
+// cache fill. Stage charges land on the leader's request timer; the
+// coalesced followers charge their wait as StageCoalesce instead.
+func (s *Server) compute(ri *reqInfo, key string, ts *taskmodel.TaskSet, cfgs []core.Config) (json.RawMessage, error) {
+	st := ri.stageTimer()
 	// A previous leader may have filled the cache between our lookup
 	// and winning flight leadership.
-	if raw, ok := s.cache.get(key); ok {
+	t0 := st.Now()
+	raw, hit := s.cache.get(key)
+	st.AddSince(telemetry.StageCache, t0)
+	if hit {
 		s.obs.Add(telemetry.CtrServerCacheHits, 1)
+		ri.addCacheHit()
 		return raw, nil
 	}
 
@@ -239,22 +310,38 @@ func (s *Server) compute(key string, ts *taskmodel.TaskSet, cfgs []core.Config) 
 		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
 		defer cancel()
 	}
+	tq := st.Now()
 	select {
 	case s.sem <- struct{}{}:
+		st.AddSince(telemetry.StageQueue, tq)
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		st.AddSince(telemetry.StageQueue, tq)
 		s.obs.Add(telemetry.CtrServerTimeouts, 1)
 		return nil, ctx.Err()
 	}
 
 	s.obs.Add(telemetry.CtrServerAnalyses, 1)
+	// With access logging on, the engine writes through a per-request
+	// child sink so memo hits attribute to this request while the
+	// daemon-wide totals keep accumulating.
+	engineObs := s.obs
+	var child *telemetry.Metrics
+	if s.access != nil && ri != nil && s.obs.Metrics != nil {
+		child = telemetry.NewChildMetrics(s.obs.Metrics)
+		co := *s.obs
+		co.Metrics = child
+		engineObs = &co
+	}
 	var mu sync.Mutex
 	var failure error
+	ta := st.Now()
+	sp := s.obs.Span("analyze "+key[:8], "server")
 	out, err := core.AnalyzeBatchOpts(
 		[]core.BatchRequest{{TS: ts, Cfgs: cfgs, Label: "req " + key[:8]}},
 		core.BatchOptions{
 			Workers:  1,
-			Observer: s.obs,
+			Observer: engineObs,
 			Context:  ctx,
 			Isolate:  true,
 			Memo:     s.memo,
@@ -264,6 +351,9 @@ func (s *Server) compute(key string, ts *taskmodel.TaskSet, cfgs []core.Config) 
 				mu.Unlock()
 			},
 		})
+	sp.End()
+	st.AddSince(telemetry.StageAnalyze, ta)
+	ri.addEngine(child)
 	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		return nil, err
 	}
@@ -279,11 +369,13 @@ func (s *Server) compute(key string, ts *taskmodel.TaskSet, cfgs []core.Config) 
 		}
 		return nil, fmt.Errorf("server: analysis produced no result")
 	}
+	tm := st.Now()
 	raw, merr := json.Marshal(out[0])
 	if merr != nil {
 		return nil, merr
 	}
 	s.cache.put(key, raw)
+	st.AddSince(telemetry.StageMarshal, tm)
 	return raw, nil
 }
 
@@ -311,7 +403,14 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.opts.RetryAfter.Round(time.Second)/time.Second)))
+		// Ceiling, clamped to >= 1: Retry-After is whole seconds, and a
+		// sub-second hint must not round (or truncate) to "0", which
+		// tells well-behaved clients to hammer immediately.
+		secs := int64((s.opts.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
 	s.writeJSON(w, status, wireError{Error: err.Error()})
 }
@@ -332,14 +431,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	oc, err := s.analyze(r.Context(), ts, cfgs)
+	ri := reqInfoFrom(r.Context())
+	oc, err := s.analyze(r.Context(), ri, ts, cfgs)
 	if err != nil {
 		s.writeError(w, statusOf(err), err)
 		return
 	}
+	tm := ri.stageTimer().Now()
 	s.writeJSON(w, http.StatusOK, wireAnalyzeResponse{
 		Key: oc.key, Cached: oc.cached, Coalesced: oc.coalesced, Results: oc.raw,
 	})
+	ri.stageTimer().AddSince(telemetry.StageMarshal, tm)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -357,6 +459,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
+	ri := reqInfoFrom(r.Context())
 	items := make([]wireBatchItem, len(req.Requests))
 	var wg sync.WaitGroup
 	for i := range req.Requests {
@@ -368,7 +471,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				items[i] = wireBatchItem{Error: err.Error(), Status: http.StatusBadRequest}
 				return
 			}
-			oc, err := s.analyze(r.Context(), ts, cfgs)
+			oc, err := s.analyze(r.Context(), ri, ts, cfgs)
 			if err != nil {
 				items[i] = wireBatchItem{Key: oc.key, Error: err.Error(), Status: statusOf(err)}
 				return
@@ -379,7 +482,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
+	tm := ri.stageTimer().Now()
 	s.writeJSON(w, http.StatusOK, wireBatchResponse{Results: items})
+	ri.stageTimer().AddSince(telemetry.StageMarshal, tm)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -390,10 +495,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// wireHistogram is one histogram's JSON /metrics rendering: the raw
+// snapshot plus quantiles estimated from the log2 buckets.
+type wireHistogram struct {
+	telemetry.HistSnapshot
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// handleMetrics serves the telemetry inventory — counters, point-in-
+// time gauges and stage histograms with estimated quantiles — as JSON
+// by default, or in the Prometheus 0.0.4 text exposition with
+// ?format=prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	counters := map[string]int64{}
-	if s.obs != nil && s.obs.Metrics != nil {
-		counters = s.obs.Metrics.Counters()
+	gauges := []telemetry.PromGauge{
+		{Name: "server.inflight", Help: "requests currently in flight", Value: s.inflight.Load()},
+		{Name: "server.queue_depth", Help: "admitted requests waiting for a worker", Value: s.queueDepth()},
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"counters": counters})
+	m := s.obs.Metrics
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", telemetry.ContentTypePrometheus)
+		_ = m.WritePrometheus(w, gauges)
+		return
+	}
+	gaugeMap := make(map[string]int64, len(gauges))
+	for _, g := range gauges {
+		gaugeMap[g.Name] = g.Value
+	}
+	hists := map[string]wireHistogram{}
+	for name, hs := range m.Hists() {
+		hists[name] = wireHistogram{
+			HistSnapshot: hs,
+			P50:          hs.Quantile(0.50),
+			P95:          hs.Quantile(0.95),
+			P99:          hs.Quantile(0.99),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"counters":   m.Counters(),
+		"gauges":     gaugeMap,
+		"histograms": hists,
+	})
 }

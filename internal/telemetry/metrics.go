@@ -209,13 +209,33 @@ const (
 	// HistInnerIters is the distribution of inner iterates per
 	// ResponseTime call.
 	HistInnerIters
+	// Per-request stage-latency family (internal/server): microseconds
+	// one analysis request spent in each lifecycle stage, recorded by
+	// StageTimer (stages.go). Quantiles (p50/p95/p99) are estimated
+	// from the log2 buckets via HistSnapshot.Quantile; the taxonomy is
+	// documented in DESIGN.md §13.
+	HistStageQueue
+	HistStageCache
+	HistStageCoalesce
+	HistStageAnalyze
+	HistStageMarshal
+	// HistRequestTotal is the whole-request wall clock in microseconds
+	// — cache hits, coalesced waits and shed requests included, so its
+	// count matches server.requests under steady load.
+	HistRequestTotal
 
 	numHists
 )
 
 var histNames = [numHists]string{
-	HistOuterRounds: "analyzer.outer_rounds_per_run",
-	HistInnerIters:  "fp.iterations_per_analysis",
+	HistOuterRounds:   "analyzer.outer_rounds_per_run",
+	HistInnerIters:    "fp.iterations_per_analysis",
+	HistStageQueue:    "server.stage_queue_us",
+	HistStageCache:    "server.stage_cache_us",
+	HistStageCoalesce: "server.stage_coalesce_us",
+	HistStageAnalyze:  "server.stage_analyze_us",
+	HistStageMarshal:  "server.stage_marshal_us",
+	HistRequestTotal:  "server.request_us",
 }
 
 func (h HistID) String() string {
@@ -294,15 +314,27 @@ func (h *Histogram) Snapshot() HistSnapshot {
 type Metrics struct {
 	counters [numCounters]atomic.Int64
 	hists    [numHists]Histogram
+	// parent receives a copy of every write (NewChildMetrics) so a
+	// short-lived sink can attribute per-request work without the
+	// long-lived one missing anything.
+	parent *Metrics
 }
 
 // NewMetrics returns an empty metrics sink.
 func NewMetrics() *Metrics { return &Metrics{} }
 
+// NewChildMetrics returns a sink whose writes also land on parent.
+// The server uses one child per engine invocation to attribute memo
+// hits to individual requests while the daemon-wide counters keep
+// accumulating; the cost is one extra atomic op per write.
+func NewChildMetrics(parent *Metrics) *Metrics { return &Metrics{parent: parent} }
+
 // Add increments counter c by d.
 func (m *Metrics) Add(c Counter, d int64) {
 	if c >= 0 && c < numCounters {
-		m.counters[c].Add(d)
+		for s := m; s != nil; s = s.parent {
+			s.counters[c].Add(d)
+		}
 	}
 }
 
@@ -317,7 +349,9 @@ func (m *Metrics) Get(c Counter) int64 {
 // Observe records v into histogram h.
 func (m *Metrics) Observe(h HistID, v int64) {
 	if h >= 0 && h < numHists {
-		m.hists[h].Observe(v)
+		for s := m; s != nil; s = s.parent {
+			s.hists[h].Observe(v)
+		}
 	}
 }
 
@@ -336,6 +370,18 @@ func (m *Metrics) Counters() map[string]int64 {
 	for c := Counter(0); c < numCounters; c++ {
 		if v := m.counters[c].Load(); v != 0 {
 			out[c.String()] = v
+		}
+	}
+	return out
+}
+
+// Hists returns snapshots of the non-empty histograms keyed by name —
+// the payload of the JSON /metrics histogram section.
+func (m *Metrics) Hists() map[string]HistSnapshot {
+	out := make(map[string]HistSnapshot, numHists)
+	for h := HistID(0); h < numHists; h++ {
+		if s := m.hists[h].Snapshot(); s.Count != 0 {
+			out[h.String()] = s
 		}
 	}
 	return out

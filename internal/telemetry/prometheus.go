@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4) over the fixed metric
+// inventory. The encoder is deliberately dependency-free: the counter
+// and histogram sets are small and static, so the whole exposition is
+// a deterministic walk over the enums — every scrape emits the same
+// series in the same order, zeros included, which keeps rate() and
+// histogram_quantile() well-defined from the first scrape on.
+//
+// Name mapping: internal dotted names become Prometheus names by
+// replacing '.' and '-' with '_' ("server.cache_hits" =>
+// "server_cache_hits"). Histograms keep their explicit unit suffix
+// (..._us = microseconds); bucket upper bounds are the inclusive
+// integer tops of the log2 buckets (le="0", "1", "3", "7", ...,
+// "2^30-1", "+Inf"), exact for the integer observations Histogram
+// records. The top log2 bucket is unbounded and therefore only
+// contributes to le="+Inf".
+
+// PromGauge is one gauge sample attached to an exposition — a
+// point-in-time value (in-flight requests, queue depth) the caller
+// reads at scrape time, unlike the monotone counters Metrics
+// accumulates.
+type PromGauge struct {
+	Name  string // internal dotted name, sanitized like counter names
+	Help  string // optional # HELP line
+	Value int64
+}
+
+// ContentTypePrometheus is the scrape Content-Type of the 0.0.4 text
+// exposition format.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every counter, the given gauges and every
+// histogram in the Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer, gauges []PromGauge) error {
+	bw := bufio.NewWriter(w)
+	for c := Counter(0); c < numCounters; c++ {
+		name := promName(c.String())
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, m.Get(c))
+	}
+	for _, g := range gauges {
+		name := promName(g.Name)
+		if g.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, g.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+	}
+	for h := HistID(0); h < numHists; h++ {
+		s := m.hists[h].Snapshot()
+		name := promName(h.String())
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum int64
+		for k := 0; k < histBuckets-1; k++ {
+			if k < len(s.Buckets) {
+				cum += s.Buckets[k]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, bucketUpper(k), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Count)
+	}
+	return bw.Flush()
+}
+
+// bucketUpper is the inclusive integer upper bound of log2 bucket k:
+// bucket 0 holds only zeros, bucket k >= 1 holds [2^(k-1), 2^k) whose
+// integer members are all <= 2^k - 1.
+func bucketUpper(k int) int64 {
+	if k == 0 {
+		return 0
+	}
+	return int64(1)<<k - 1
+}
+
+func promName(s string) string {
+	return strings.NewReplacer(".", "_", "-", "_").Replace(s)
+}

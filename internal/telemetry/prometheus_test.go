@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenMetrics builds a deterministic metrics state covering every
+// exposition branch: counters (zero and nonzero), gauges (with and
+// without help), and histograms (empty, small values, a zero, and a
+// top-bucket overflow).
+func goldenMetrics() (*Metrics, []PromGauge) {
+	m := NewMetrics()
+	m.Add(CtrRuns, 3)
+	m.Add(CtrServerRequests, 7)
+	m.Add(CtrServerCacheHits, 2)
+	m.Observe(HistOuterRounds, 0)
+	m.Observe(HistOuterRounds, 1)
+	m.Observe(HistOuterRounds, 5)
+	m.Observe(HistStageAnalyze, 1000)
+	m.Observe(HistStageAnalyze, 1<<40) // unbounded top bucket
+	gauges := []PromGauge{
+		{Name: "server.inflight", Help: "requests currently in flight", Value: 2},
+		{Name: "server.queue_depth", Value: 0},
+	}
+	return m, gauges
+}
+
+// TestPrometheusGolden pins the exposition byte-for-byte. Regenerate
+// with: go test ./internal/telemetry -run TestPrometheusGolden -update
+func TestPrometheusGolden(t *testing.T) {
+	m, gauges := goldenMetrics()
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf, gauges); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file (regenerate with -update if intended)\ngot %d bytes, want %d", buf.Len(), len(want))
+	}
+}
+
+var (
+	promCommentRe = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	promSampleRe  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="(\+Inf|[0-9]+)"\})? (-?[0-9]+)$`)
+)
+
+// TestPrometheusParseable validates the exposition line by line
+// against the 0.0.4 text format and checks the histogram invariants a
+// scraper relies on: cumulative buckets are nondecreasing, the +Inf
+// bucket equals _count, and every histogram carries _sum and _count.
+func TestPrometheusParseable(t *testing.T) {
+	m, gauges := goldenMetrics()
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf, gauges); err != nil {
+		t.Fatal(err)
+	}
+	samples := map[string]int64{}
+	bucketSeq := map[string][]int64{}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !promCommentRe.MatchString(line) {
+				t.Errorf("malformed comment line: %q", line)
+			}
+			continue
+		}
+		sm := promSampleRe.FindStringSubmatch(line)
+		if sm == nil {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		v, err := strconv.ParseInt(sm[4], 10, 64)
+		if err != nil {
+			t.Errorf("bad value in %q: %v", line, err)
+			continue
+		}
+		if sm[2] != "" {
+			base := strings.TrimSuffix(sm[1], "_bucket")
+			bucketSeq[base] = append(bucketSeq[base], v)
+		} else {
+			samples[sm[1]] = v
+		}
+	}
+	if samples["analyzer_runs"] != 3 {
+		t.Errorf("analyzer_runs = %d, want 3", samples["analyzer_runs"])
+	}
+	if samples["server_inflight"] != 2 {
+		t.Errorf("server_inflight = %d, want 2", samples["server_inflight"])
+	}
+	for base, seq := range bucketSeq {
+		for i := 1; i < len(seq); i++ {
+			if seq[i] < seq[i-1] {
+				t.Errorf("%s: cumulative bucket %d decreases (%d -> %d)", base, i, seq[i-1], seq[i])
+			}
+		}
+		count, ok := samples[base+"_count"]
+		if !ok {
+			t.Errorf("%s: missing _count", base)
+			continue
+		}
+		if _, ok := samples[base+"_sum"]; !ok {
+			t.Errorf("%s: missing _sum", base)
+		}
+		if inf := seq[len(seq)-1]; inf != count {
+			t.Errorf("%s: +Inf bucket %d != count %d", base, inf, count)
+		}
+	}
+	if len(bucketSeq) == 0 {
+		t.Error("no histogram series in exposition")
+	}
+	// The overflow observation (2^40) must live only in +Inf: the last
+	// finite bucket of the analyze-stage histogram stays at 1.
+	seq := bucketSeq["server_stage_analyze_us"]
+	if len(seq) < 2 {
+		t.Fatal("analyze-stage histogram missing buckets")
+	}
+	if finite, inf := seq[len(seq)-2], seq[len(seq)-1]; finite != 1 || inf != 2 {
+		t.Errorf("overflow accounting: last finite bucket %d (want 1), +Inf %d (want 2)", finite, inf)
+	}
+}

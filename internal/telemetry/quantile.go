@@ -1,0 +1,92 @@
+package telemetry
+
+import "math"
+
+// Quantile estimation from log2 bucket counts. A log2 histogram cannot
+// reproduce exact order statistics, but it brackets them: the rank-r
+// observation lies inside a known power-of-two bucket, and linear
+// interpolation inside that bucket bounds the error by the bucket
+// width (a factor of two). That is plenty for latency reporting —
+// p50/p95/p99 read off the same buckets /metrics already exports.
+
+// Quantile estimates the q-quantile of the observed distribution:
+// nearest-rank (rank = ceil(q·count), clamped to [1, count]) on the
+// cumulative bucket counts, linearly interpolated inside the
+// containing bucket and clamped to the recorded Max. Properties the
+// tests pin: an empty histogram returns 0 for every q; a single
+// observation returns exactly that value for every q; q >= 1 returns
+// Max exactly; estimates are nondecreasing in q; top-bucket overflow
+// values (>= 2^31 for 32 buckets) never exceed Max.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for k, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := bucketSpan(k)
+			if k == histBuckets-1 && float64(s.Max) > hi {
+				// The top bucket is unbounded; stretch it to the
+				// recorded max so deep-overflow observations stay
+				// reachable.
+				hi = float64(s.Max)
+			}
+			v := lo + float64(rank-cum)/float64(c)*(hi-lo)
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		cum += c
+	}
+	return float64(s.Max)
+}
+
+// bucketSpan returns the value range covered by log2 bucket k: bucket
+// 0 holds exactly zero, bucket k >= 1 holds [2^(k-1), 2^k).
+func bucketSpan(k int) (lo, hi float64) {
+	if k <= 0 {
+		return 0, 0
+	}
+	return float64(int64(1) << (k - 1)), float64(int64(1) << k)
+}
+
+// Sub returns the distribution of observations recorded between prev
+// and s (two snapshots of the same histogram, prev taken first):
+// count, sum and bucket counts subtract; Max stays the cumulative max,
+// since a log2 histogram cannot retire old observations. Quantile on
+// the result estimates interval latencies — the building block of
+// rolling rate reports (Roller) and loadgen's server-side cross-check.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum, Max: s.Max}
+	if out.Count > 0 {
+		out.Mean = float64(out.Sum) / float64(out.Count)
+	}
+	out.Buckets = append([]int64(nil), s.Buckets...)
+	for i := range prev.Buckets {
+		if i < len(out.Buckets) {
+			out.Buckets[i] -= prev.Buckets[i]
+		}
+	}
+	last := -1
+	for i, b := range out.Buckets {
+		if b != 0 {
+			last = i
+		}
+	}
+	out.Buckets = out.Buckets[:last+1]
+	return out
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEmpty: an empty histogram answers 0 for every q rather
+// than NaN or a panic.
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileSingleObservation: with one observation every quantile
+// is that value exactly — the interpolated estimate lands on the
+// bucket top and the Max clamp pulls it back to the observation,
+// including for zero, bucket-boundary powers of two, and values deep
+// in the unbounded top bucket.
+func TestQuantileSingleObservation(t *testing.T) {
+	for _, v := range []int64{0, 1, 2, 3, 64, 100, 1<<30 - 1, 1 << 30, 1 << 50, math.MaxInt64} {
+		var h Histogram
+		h.Observe(v)
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.01, 0.5, 0.95, 0.99, 1} {
+			if got := s.Quantile(q); got != float64(v) {
+				t.Errorf("single obs %d: Quantile(%v) = %v, want %d", v, q, got, v)
+			}
+		}
+	}
+}
+
+// TestQuantileTopBucketOverflow: observations at or above 2^31 all
+// share the unbounded top log2 bucket; quantile estimates must stay
+// within [2^30, Max] and reach Max at q=1.
+func TestQuantileTopBucketOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 35)
+	h.Observe(1 << 40)
+	h.Observe(math.MaxInt64)
+	s := h.Snapshot()
+	lo := float64(int64(1) << 30)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := s.Quantile(q)
+		if got < lo || got > float64(s.Max) {
+			t.Errorf("overflow Quantile(%v) = %v, want within [%v, %v]", q, got, lo, float64(s.Max))
+		}
+	}
+	if got := s.Quantile(1); got != float64(math.MaxInt64) {
+		t.Errorf("Quantile(1) = %v, want Max", got)
+	}
+}
+
+// TestQuantileBucketBoundaries: a distribution built from exact
+// power-of-two boundary values. Each observation is alone in its
+// bucket, so the nearest-rank bucket selection is fully determined
+// and the estimate must land inside that observation's bucket.
+func TestQuantileBucketBoundaries(t *testing.T) {
+	var h Histogram
+	values := []int64{0, 1, 2, 4, 8} // buckets 0,1,2,3,4
+	for _, v := range values {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		q      float64
+		lo, hi float64 // estimate must fall in [lo, hi]
+	}{
+		{0.0, 0, 0},  // rank 1 -> bucket 0 (the zero)
+		{0.2, 0, 0},  // rank 1
+		{0.21, 1, 2}, // rank 2 -> bucket of value 1
+		{0.4, 1, 2},  // rank 2
+		{0.6, 2, 4},  // rank 3 -> bucket of value 2
+		{0.8, 4, 8},  // rank 4 -> bucket of value 4
+		{0.81, 8, 8}, // rank 5 -> bucket of value 8, clamped to Max
+		{1.0, 8, 8},  // Max exactly
+	}
+	for _, tc := range cases {
+		got := s.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", tc.q, got, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestQuantileMonotone: estimates never decrease as q grows.
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, got, prev)
+		}
+		prev = got
+	}
+	// The uniform 1..1000 median is 500; the log2 estimate must land
+	// in its bucket [256, 512).
+	if p50 := s.Quantile(0.5); p50 < 256 || p50 >= 512 {
+		t.Errorf("uniform p50 = %v, want within [256, 512)", p50)
+	}
+	if p100 := s.Quantile(1); p100 != 1000 {
+		t.Errorf("p100 = %v, want 1000", p100)
+	}
+}
+
+// TestHistSnapshotSub: interval deltas subtract counts, sums and
+// buckets; Max stays cumulative; quantiles work on the delta.
+func TestHistSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.Observe(4)
+	h.Observe(1000)
+	before := h.Snapshot()
+	h.Observe(7)
+	h.Observe(7)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 2 || d.Sum != 14 {
+		t.Errorf("delta count=%d sum=%d, want 2/14", d.Count, d.Sum)
+	}
+	if d.Mean != 7 {
+		t.Errorf("delta mean = %v, want 7", d.Mean)
+	}
+	if d.Max != 1000 {
+		t.Errorf("delta max = %d, want cumulative 1000", d.Max)
+	}
+	var total int64
+	for _, b := range d.Buckets {
+		total += b
+	}
+	if total != 2 {
+		t.Errorf("delta bucket total = %d, want 2", total)
+	}
+	// Both interval observations were 7 (bucket [4,8)); the estimate
+	// must land there.
+	if p := d.Quantile(0.5); p < 4 || p > 8 {
+		t.Errorf("delta p50 = %v, want within [4, 8]", p)
+	}
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import "time"
+
+// Rolling snapshot deltas: Metrics accumulates monotone totals, but a
+// live operator (buscond -stats-every, loadgen progress lines) wants
+// rates — what happened since the last look. A Roller remembers the
+// previous snapshot and returns the difference, so counters divide by
+// Elapsed into per-second rates and interval histograms answer "what
+// was p99 over the last tick", not "since process start".
+
+// Roller tracks one Metrics sink and produces interval deltas. Not
+// safe for concurrent use; one Roller belongs to one reporting loop.
+type Roller struct {
+	m    *Metrics
+	now  func() time.Time
+	last time.Time
+	ctr  [numCounters]int64
+	hist [numHists]HistSnapshot
+}
+
+// RollDelta is what changed between two Roll calls.
+type RollDelta struct {
+	// Elapsed is the wall clock covered by this interval.
+	Elapsed time.Duration
+	// Counters holds the nonzero counter increments keyed by name.
+	Counters map[string]int64
+	// Hists holds interval snapshots (count/sum/buckets are deltas,
+	// Max is cumulative — see HistSnapshot.Sub) of histograms that saw
+	// observations, keyed by name.
+	Hists map[string]HistSnapshot
+}
+
+// Rate divides a counter's interval increment into a per-second rate.
+func (d RollDelta) Rate(name string) float64 {
+	if d.Elapsed <= 0 {
+		return 0
+	}
+	return float64(d.Counters[name]) / d.Elapsed.Seconds()
+}
+
+// NewRoller starts a roller whose baseline is the metrics' current
+// state — the first Roll reports only what happens after this call.
+func NewRoller(m *Metrics) *Roller { return newRoller(m, time.Now) }
+
+func newRoller(m *Metrics, now func() time.Time) *Roller {
+	r := &Roller{m: m, now: now, last: now()}
+	for c := range r.ctr {
+		r.ctr[c] = m.Get(Counter(c))
+	}
+	for h := range r.hist {
+		r.hist[h] = m.hists[h].Snapshot()
+	}
+	return r
+}
+
+// Roll returns the delta since the previous Roll (or NewRoller) and
+// advances the baseline. Concurrent writers keep writing while the
+// snapshot walks the sinks, so an observation can straddle two
+// intervals — totals stay exact, attribution is best-effort.
+func (r *Roller) Roll() RollDelta {
+	t := r.now()
+	d := RollDelta{
+		Elapsed:  t.Sub(r.last),
+		Counters: make(map[string]int64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	r.last = t
+	for c := 0; c < int(numCounters); c++ {
+		v := r.m.Get(Counter(c))
+		if dv := v - r.ctr[c]; dv != 0 {
+			d.Counters[Counter(c).String()] = dv
+		}
+		r.ctr[c] = v
+	}
+	for h := 0; h < int(numHists); h++ {
+		s := r.m.hists[h].Snapshot()
+		if ds := s.Sub(r.hist[h]); ds.Count != 0 {
+			d.Hists[HistID(h).String()] = ds
+		}
+		r.hist[h] = s
+	}
+	return d
+}

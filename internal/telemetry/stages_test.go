@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStageTimerNil: the disabled path (nil observer or no metrics
+// sink) is inert — no clock reads leak out, Finish returns zeros.
+func TestStageTimerNil(t *testing.T) {
+	var o *Observer
+	st := o.StartStages()
+	if st != nil {
+		t.Fatal("nil observer returned a live timer")
+	}
+	if !st.Now().IsZero() {
+		t.Error("nil timer read the clock")
+	}
+	st.AddSince(StageQueue, time.Now())
+	st.Add(StageAnalyze, time.Second)
+	if durs := st.Finish(); durs != ([NumStages]time.Duration{}) {
+		t.Errorf("nil timer recorded durations: %v", durs)
+	}
+	if (&Observer{}).StartStages() != nil {
+		t.Error("observer without metrics returned a live timer")
+	}
+}
+
+// TestStageTimerFlush: accumulated stage durations land in the right
+// histograms in microseconds, stages never charged are not observed,
+// and the whole-request histogram always records once.
+func TestStageTimerFlush(t *testing.T) {
+	o := New()
+	st := o.StartStages()
+	if st == nil {
+		t.Fatal("StartStages returned nil with metrics enabled")
+	}
+	st.Add(StageCache, 300*time.Microsecond)
+	st.Add(StageCache, 700*time.Microsecond) // accumulates
+	st.Add(StageAnalyze, 5*time.Millisecond)
+	durs := st.Finish()
+	if durs[StageCache] != time.Millisecond {
+		t.Errorf("cache stage = %v, want 1ms", durs[StageCache])
+	}
+	cache := o.Metrics.Hist(HistStageCache).Snapshot()
+	if cache.Count != 1 || cache.Sum != 1000 {
+		t.Errorf("cache hist count=%d sum=%d, want 1/1000µs", cache.Count, cache.Sum)
+	}
+	analyze := o.Metrics.Hist(HistStageAnalyze).Snapshot()
+	if analyze.Count != 1 || analyze.Sum != 5000 {
+		t.Errorf("analyze hist count=%d sum=%d, want 1/5000µs", analyze.Count, analyze.Sum)
+	}
+	if got := o.Metrics.Hist(HistStageQueue).Snapshot().Count; got != 0 {
+		t.Errorf("queue hist count = %d, want 0 (stage never charged)", got)
+	}
+	if got := o.Metrics.Hist(HistRequestTotal).Snapshot().Count; got != 1 {
+		t.Errorf("request hist count = %d, want 1", got)
+	}
+}
+
+// TestStageHistsDistinct: every stage maps to its own histogram and a
+// valid name.
+func TestStageHistsDistinct(t *testing.T) {
+	seen := map[HistID]Stage{}
+	for s := Stage(0); s < NumStages; s++ {
+		h := s.Hist()
+		if h < 0 || h >= numHists {
+			t.Errorf("stage %v has no histogram", s)
+			continue
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("stages %v and %v share histogram %v", prev, s, h)
+		}
+		seen[h] = s
+		if s.String() == "stage(?)" {
+			t.Errorf("stage %d has no name", int(s))
+		}
+	}
+}
+
+// TestChildMetricsForwardsToParent: a per-request child sink records
+// locally and forwards every write to the shared parent.
+func TestChildMetricsForwardsToParent(t *testing.T) {
+	parent := NewMetrics()
+	parent.Add(CtrMemoHits, 10)
+	child := NewChildMetrics(parent)
+	child.Add(CtrMemoHits, 3)
+	child.Observe(HistInnerIters, 7)
+	if got := child.Get(CtrMemoHits); got != 3 {
+		t.Errorf("child memo hits = %d, want 3 (per-request attribution)", got)
+	}
+	if got := parent.Get(CtrMemoHits); got != 13 {
+		t.Errorf("parent memo hits = %d, want 13 (shared totals keep accumulating)", got)
+	}
+	if got := parent.Hist(HistInnerIters).Snapshot().Count; got != 1 {
+		t.Errorf("parent hist count = %d, want 1", got)
+	}
+	if got := child.Hist(HistInnerIters).Snapshot().Count; got != 1 {
+		t.Errorf("child hist count = %d, want 1", got)
+	}
+}
+
+// TestRoller: counter and histogram deltas reset at each Roll, and
+// rates divide by the interval.
+func TestRoller(t *testing.T) {
+	m := NewMetrics()
+	m.Add(CtrServerRequests, 100) // pre-roller traffic is baseline
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	r := newRoller(m, now)
+
+	m.Add(CtrServerRequests, 5)
+	m.Observe(HistRequestTotal, 40)
+	clock = clock.Add(2 * time.Second)
+	d := r.Roll()
+	if d.Elapsed != 2*time.Second {
+		t.Errorf("elapsed = %v, want 2s", d.Elapsed)
+	}
+	if d.Counters["server.requests"] != 5 {
+		t.Errorf("requests delta = %d, want 5 (baseline excluded)", d.Counters["server.requests"])
+	}
+	if got := d.Rate("server.requests"); got != 2.5 {
+		t.Errorf("rate = %v, want 2.5/s", got)
+	}
+	h, ok := d.Hists["server.request_us"]
+	if !ok || h.Count != 1 || h.Sum != 40 {
+		t.Errorf("hist delta = %+v (ok=%v), want count 1 sum 40", h, ok)
+	}
+
+	// Second interval: nothing happened => empty deltas.
+	clock = clock.Add(time.Second)
+	d2 := r.Roll()
+	if len(d2.Counters) != 0 || len(d2.Hists) != 0 {
+		t.Errorf("idle interval reported deltas: %+v %+v", d2.Counters, d2.Hists)
+	}
+
+	// Third interval sees only its own traffic.
+	m.Add(CtrServerRequests, 2)
+	clock = clock.Add(time.Second)
+	if d3 := r.Roll(); d3.Counters["server.requests"] != 2 {
+		t.Errorf("third interval delta = %d, want 2", d3.Counters["server.requests"])
+	}
+}
