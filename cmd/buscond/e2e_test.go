@@ -196,6 +196,64 @@ func TestRunBadFlags(t *testing.T) {
 	if code, err := run(context.Background(), []string{"-log-format", "xml"}, &out, &errOut); err == nil || code != 1 {
 		t.Errorf("bad log format: code=%d err=%v, want a failure", code, err)
 	}
+	if code, err := run(context.Background(), []string{"-self", "127.0.0.1:1"}, &out, &errOut); err == nil || code != 1 {
+		t.Errorf("-self without -peers: code=%d err=%v, want a failure", code, err)
+	}
+	if code, err := run(context.Background(), []string{"-peers", "ftp://127.0.0.1:1"}, &out, &errOut); err == nil || code != 1 {
+		t.Errorf("bad -peers scheme: code=%d err=%v, want a failure", code, err)
+	}
+}
+
+// TestRunFleetMemberAnnouncement wires the fleet flags end to end: a
+// single-member ring (self is auto-added to -peers) must announce
+// itself on stdout and still serve analyses — ownership of every key
+// is local, so routing is a no-op.
+func TestRunFleetMemberAnnouncement(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errOut syncBuffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		code, err := run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-peers", "127.0.0.1:7421", "-self", "127.0.0.1:7421",
+		}, &out, &errOut)
+		if code != 0 || err != nil {
+			t.Errorf("run: code=%d err=%v", code, err)
+		}
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address:\n%s\n%s", out.String(), errOut.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if want := "fleet member http://127.0.0.1:7421 of 1 nodes"; !bytes.Contains([]byte(out.String()), []byte(want)) {
+		t.Errorf("stdout missing %q:\n%s", want, out.String())
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(analyzeBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
 }
 
 // TestAccessLogFileAndTrace: -access-log writes text-format lines to a

@@ -8,10 +8,18 @@
 //
 //	buscond -addr 127.0.0.1:8080 -workers 8 -cache-entries 4096
 //
+// Several daemons become a fleet with shard-owner request routing
+// (internal/cluster): start each with the full member list and its own
+// address, and every canonical request key is analyzed on exactly one
+// node whose cache serves the whole fleet:
+//
+//	buscond -addr 127.0.0.1:8080 -peers 127.0.0.1:8080,127.0.0.1:8081
+//	buscond -addr 127.0.0.1:8081 -peers 127.0.0.1:8080,127.0.0.1:8081
+//
 // Endpoints: POST /v1/analyze, POST /v1/analyze/batch,
 // POST /v1/analyze/delta, GET /healthz, GET /metrics,
-// GET /debug/pprof/*. See DESIGN.md §11–§12 and the README quickstart
-// for the wire format.
+// GET /debug/pprof/*. See DESIGN.md §11–§12 for the wire format and
+// §14 for the fleet design; the README has quickstarts for both.
 package main
 
 import (
@@ -23,9 +31,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -45,6 +55,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	memoEntries := fs.Int("memo-entries", 0, "engine table-memo capacity in columns (0 = 4096, negative = disable memoization)")
 	baseEntries := fs.Int("base-entries", 0, "delta base registry capacity (0 = 1024, negative = disable /v1/analyze/delta)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline while queued (0 = none)")
+	peers := fs.String("peers", "", "comma-separated fleet member addresses (host:port or http:// URLs); enables shard-owner request routing")
+	self := fs.String("self", "", "this node's address within -peers (default: -addr; required when -addr binds port 0)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per-proxy round-trip deadline before degrading to local compute (0 = 1m)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	metrics := fs.Bool("metrics", false, "print the counter summary on exit")
 	accessLog := fs.String("access-log", "stdout", "access-log destination: stdout, stderr, off, or a file path")
@@ -57,6 +70,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	}
 	if *logFormat != "json" && *logFormat != "text" {
 		return 1, fmt.Errorf("-log-format must be json or text, got %q", *logFormat)
+	}
+	var ring *cluster.Ring
+	if *peers != "" {
+		selfAddr := *self
+		if selfAddr == "" {
+			selfAddr = *addr
+		}
+		var rerr error
+		ring, rerr = cluster.NewRing(selfAddr, strings.Split(*peers, ","), *peerTimeout)
+		if rerr != nil {
+			return 1, rerr
+		}
+	} else if *self != "" {
+		return 1, fmt.Errorf("-self only makes sense with -peers")
 	}
 
 	sess, err := telemetry.StartSession(telemetry.SessionOptions{
@@ -109,6 +136,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 		Observer:        obs,
 		AccessLog:       accessW,
 		AccessLogFormat: *logFormat,
+		Ring:            ring,
 	})
 
 	// Rolling operator stats: interval deltas over the shared metrics
@@ -140,6 +168,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	// The resolved address line is load-bearing: tests and scripts bind
 	// port 0 and scrape the actual port from here.
 	fmt.Fprintf(stdout, "buscond: listening on http://%s (POST /v1/analyze)\n", ln.Addr())
+	if ring != nil {
+		fmt.Fprintf(stdout, "buscond: fleet member %s of %d nodes\n", ring.SelfURL(), ring.Len())
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -3,10 +3,18 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
 )
 
 func TestRunFig2aWritesCSV(t *testing.T) {
@@ -136,6 +144,81 @@ func TestRunShardResumeMergeEquivalence(t *testing.T) {
 	}
 	if got := readFile(t, filepath.Join(mergeDir, "fig2a.csv")); got != want {
 		t.Errorf("merged CSV differs from the single-process run:\n--- merged ---\n%s--- single ---\n%s", got, want)
+	}
+}
+
+// swapHandler lets fleet listeners exist (URLs known) before the
+// servers that need the full member list are built.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(h) }
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// TestRunClusterEquivalence pins the -cluster acceptance criterion: a
+// sweep whose analyses are served by a 2-node buscond fleet must emit
+// a CSV byte-identical to the single-process local run, leaving one
+// audit-ready checkpoint shard per node behind.
+func TestRunClusterEquivalence(t *testing.T) {
+	refDir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-tasksets", "2", "-outdir", refDir, "-progress=false"},
+		&out, &errOut); err != nil || code != 0 {
+		t.Fatalf("reference run: code=%d err=%v (stderr: %s)", code, err, errOut.String())
+	}
+	want := readFile(t, filepath.Join(refDir, "fig2a.csv"))
+
+	const n = 2
+	swaps := make([]*swapHandler, n)
+	urls := make([]string, n)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+		hs := httptest.NewServer(swaps[i])
+		t.Cleanup(hs.Close)
+		urls[i] = hs.URL
+	}
+	for i := range swaps {
+		ring, err := cluster.NewRing(urls[i], urls, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swaps[i].set(server.New(server.Options{Ring: ring}).Handler())
+	}
+
+	clusterDir := t.TempDir()
+	ckpt := t.TempDir()
+	out.Reset()
+	errOut.Reset()
+	if code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-tasksets", "2", "-outdir", clusterDir,
+			"-cluster", strings.Join(urls, ","), "-checkpoint", ckpt, "-progress=false"},
+		&out, &errOut); err != nil || code != 0 {
+		t.Fatalf("cluster run: code=%d err=%v (stderr: %s)", code, err, errOut.String())
+	}
+	if got := readFile(t, filepath.Join(clusterDir, "fig2a.csv")); got != want {
+		t.Errorf("cluster CSV differs from the single-process run:\n--- cluster ---\n%s--- single ---\n%s", got, want)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := os.Stat(filepath.Join(ckpt, fmt.Sprintf("fig2a.shard%dof%d.json", i, n))); err != nil {
+			t.Errorf("node %d left no shard checkpoint: %v", i, err)
+		}
+	}
+}
+
+// TestRunClusterFlagValidation: -cluster needs -checkpoint and
+// excludes -shard (the fleet shards the sweep itself).
+func TestRunClusterFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-cluster", "127.0.0.1:1"}, &out, &errOut); err == nil || code != 1 {
+		t.Errorf("-cluster without -checkpoint: code=%d err=%v, want an error", code, err)
+	}
+	if code, err := run(context.Background(),
+		[]string{"-exp", "fig2a", "-cluster", "127.0.0.1:1", "-shard", "0/2", "-checkpoint", t.TempDir()},
+		&out, &errOut); err == nil || code != 1 {
+		t.Errorf("-cluster with -shard: code=%d err=%v, want an error", code, err)
 	}
 }
 

@@ -21,10 +21,21 @@
 // comparable; with -check the client's request and shed counts are
 // cross-checked against the server's /metrics counter deltas.
 //
+// Against a buscond fleet (DESIGN.md §14), -targets spreads every
+// request across the member nodes — each fire picks a node uniformly,
+// so the run exercises shard-owner routing and peer cache fill from
+// every edge. The cross-check then sums /metrics over all nodes
+// (shard-owner routing analyzes each request on exactly one node, so
+// the fleet-wide totals obey the same invariants as a single daemon)
+// and is skipped, not failed, if any peer degradation happened
+// mid-run.
+//
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8080 -duration 10s -workers 8 \
 //	        -mix fresh=0.2,dup=0.6,delta=0.2
+//	loadgen -targets 127.0.0.1:8080,127.0.0.1:8081,127.0.0.1:8082 \
+//	        -duration 10s -workers 8
 package main
 
 import (
@@ -88,6 +99,7 @@ type classStats struct {
 // report is the machine-readable run summary (-json).
 type report struct {
 	DurationS float64                `json:"duration_s"`
+	Targets   int                    `json:"targets,omitempty"` // fleet nodes load was spread over (omitted for 1)
 	Requests  int64                  `json:"requests"`
 	OK        int64                  `json:"ok"`
 	Shed      int64                  `json:"shed"`
@@ -160,6 +172,54 @@ func scrape(client *http.Client, addr string) (metricsDoc, error) {
 		return doc, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
 	}
 	return doc, json.NewDecoder(resp.Body).Decode(&doc)
+}
+
+// scrapeAll sums /metrics over every target. Shard-owner routing
+// analyzes each request on exactly one node, so the fleet-wide sums
+// obey the same accounting invariants the single-node cross-check
+// relies on (server.requests counts each analyze exactly once:
+// successful proxies increment only peer_proxied at the edge).
+func scrapeAll(client *http.Client, targets []string) (metricsDoc, error) {
+	sum := metricsDoc{Counters: map[string]int64{}, Histograms: map[string]telemetry.HistSnapshot{}}
+	for _, t := range targets {
+		doc, err := scrape(client, t)
+		if err != nil {
+			return sum, fmt.Errorf("%s: %w", t, err)
+		}
+		for k, v := range doc.Counters {
+			sum.Counters[k] += v
+		}
+		for k, h := range doc.Histograms {
+			sum.Histograms[k] = addSnap(sum.Histograms[k], h)
+		}
+	}
+	return sum, nil
+}
+
+// addSnap merges two histogram snapshots bucket-wise — the fleet
+// analog of observing both nodes' samples in one histogram.
+func addSnap(a, b telemetry.HistSnapshot) telemetry.HistSnapshot {
+	out := telemetry.HistSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum, Max: a.Max}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	if out.Count > 0 {
+		out.Mean = float64(out.Sum) / float64(out.Count)
+	}
+	n := len(a.Buckets)
+	if len(b.Buckets) > n {
+		n = len(b.Buckets)
+	}
+	out.Buckets = make([]int64, n)
+	for i := range out.Buckets {
+		if i < len(a.Buckets) {
+			out.Buckets[i] += a.Buckets[i]
+		}
+		if i < len(b.Buckets) {
+			out.Buckets[i] += b.Buckets[i]
+		}
+	}
+	return out
 }
 
 // parseMix turns "fresh=0.2,dup=0.6,delta=0.2" into normalized class
@@ -252,6 +312,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "buscond base URL")
+	targetsStr := fs.String("targets", "", "comma-separated fleet node URLs; overrides -addr, spreading requests across nodes and summing /metrics for the cross-check")
 	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
 	workers := fs.Int("workers", 4, "closed-loop concurrent clients (ignored when -rate > 0)")
 	rate := fs.Float64("rate", 0, "open-loop dispatch rate in requests/s (0 = closed loop)")
@@ -276,7 +337,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	if *nBases < 1 || *workers < 1 || *maxInflight < 1 {
 		return 1, fmt.Errorf("-bases, -workers and -max-inflight must be >= 1")
 	}
-	baseURL := strings.TrimRight(*addr, "/")
+	targets := []string{strings.TrimRight(*addr, "/")}
+	if *targetsStr != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*targetsStr, ",") {
+			t = strings.TrimRight(strings.TrimSpace(t), "/")
+			if t == "" {
+				continue
+			}
+			if !strings.Contains(t, "://") {
+				t = "http://" + t
+			}
+			targets = append(targets, t)
+		}
+		if len(targets) == 0 {
+			return 1, fmt.Errorf("-targets: no URLs given")
+		}
+	}
 	client := &http.Client{Timeout: *timeout}
 
 	// Generate the base pool: distinct seeds => distinct task sets =>
@@ -313,11 +390,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 
 	// Warmup: POST each base once to learn its canonical key (the delta
 	// class addresses bases by key) and prime the caches the dup class
-	// expects to hit.
+	// expects to hit. With -targets the warmup round-robins over nodes;
+	// shard-owner routing lands each base on its owner either way.
 	for i, b := range bases {
-		resp, err := client.Post(baseURL+"/v1/analyze", "application/json", bytes.NewReader(b.body))
+		tgt := targets[i%len(targets)]
+		resp, err := client.Post(tgt+"/v1/analyze", "application/json", bytes.NewReader(b.body))
 		if err != nil {
-			return 1, fmt.Errorf("warmup base %d: %w (is buscond running at %s?)", i, err, baseURL)
+			return 1, fmt.Errorf("warmup base %d: %w (is buscond running at %s?)", i, err, tgt)
 		}
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -332,14 +411,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 		}
 		b.key = env.Key
 	}
-	fmt.Fprintf(stderr, "loadgen: %d bases warmed against %s\n", len(bases), baseURL)
+	if len(targets) == 1 {
+		fmt.Fprintf(stderr, "loadgen: %d bases warmed against %s\n", len(bases), targets[0])
+	} else {
+		fmt.Fprintf(stderr, "loadgen: %d bases warmed against %d fleet nodes\n", len(bases), len(targets))
+	}
 
 	// Counter baseline after warmup, so the run-phase deltas cover only
 	// generated load (plus any unrelated traffic — the check assumes an
 	// otherwise idle daemon).
 	var baseline metricsDoc
 	if *check {
-		if baseline, err = scrape(client, baseURL); err != nil {
+		if baseline, err = scrapeAll(client, targets); err != nil {
 			return 1, fmt.Errorf("baseline scrape: %w", err)
 		}
 	}
@@ -352,10 +435,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	var nonce atomic.Uint64
 	var dropped atomic.Int64
 
-	// fire issues one request of the given class and records the
-	// outcome. rng use is confined to the caller (class choice + base
-	// choice indices are passed in).
-	fire := func(class, baseIdx int) {
+	// fire issues one request of the given class against the given
+	// target node and records the outcome. rng use is confined to the
+	// caller (class, base and target indices are passed in).
+	fire := func(class, baseIdx, tgtIdx int) {
 		b := bases[baseIdx]
 		var path string
 		var body []byte
@@ -378,7 +461,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 		stats[class].sent.Add(1)
 		total.sent.Add(1)
 		start := time.Now()
-		resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(body))
+		resp, err := client.Post(targets[tgtIdx]+path, "application/json", bytes.NewReader(body))
 		if err != nil {
 			stats[class].transport.Add(1)
 			total.transport.Add(1)
@@ -456,14 +539,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 			case <-runCtx.Done():
 				break dispatch
 			case <-ticker.C:
-				class, baseIdx := pickClass(mix, rng), rng.Intn(len(bases))
+				class, baseIdx, tgtIdx := pickClass(mix, rng), rng.Intn(len(bases)), rng.Intn(len(targets))
 				select {
 				case sem <- struct{}{}:
 					wg.Add(1)
 					go func() {
 						defer wg.Done()
 						defer func() { <-sem }()
-						fire(class, baseIdx)
+						fire(class, baseIdx, tgtIdx)
 					}()
 				default:
 					dropped.Add(1)
@@ -479,7 +562,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(*seed + 1000*int64(w)))
 				for runCtx.Err() == nil {
-					fire(pickClass(mix, rng), rng.Intn(len(bases)))
+					fire(pickClass(mix, rng), rng.Intn(len(bases)), rng.Intn(len(targets)))
 				}
 			}(w)
 		}
@@ -502,6 +585,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 		Classes:   map[string]classReport{},
 		Partial:   interrupted,
 	}
+	if len(targets) > 1 {
+		rep.Targets = len(targets)
+	}
 	if rep.Requests > 0 {
 		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
 		rep.RateRPS = float64(rep.Requests) / elapsed.Seconds()
@@ -521,7 +607,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	}
 
 	if *check {
-		final, err := scrape(client, baseURL)
+		final, err := scrapeAll(client, targets)
 		if err != nil {
 			return 1, fmt.Errorf("final scrape: %w", err)
 		}
@@ -581,6 +667,16 @@ func crossCheck(baseline, final metricsDoc, total *classStats, stats []*classSta
 		sc.Reason = "transport errors make server-side accounting ambiguous"
 		return sc
 	}
+	// Fleet runs: a degraded proxy means the edge computed locally after
+	// the owner answered badly or not at all, and whether the owner also
+	// counted the request depends on how far it got — skip rather than
+	// guess.
+	if deg := (final.Counters["server.peer_degraded"] - baseline.Counters["server.peer_degraded"]) +
+		(final.Counters["server.peer_errors"] - baseline.Counters["server.peer_errors"]); deg > 0 {
+		sc.Skipped = true
+		sc.Reason = fmt.Sprintf("fleet degraded mid-run (%d peer failures) — owner-side accounting ambiguous", deg)
+		return sc
+	}
 	sc.OK = sc.ServerRequests == sc.ClientExpected && sc.ServerShed == sc.ClientShed
 	return sc
 }
@@ -588,6 +684,9 @@ func crossCheck(baseline, final metricsDoc, total *classStats, stats []*classSta
 func writeTextReport(w io.Writer, rep report) {
 	fmt.Fprintf(w, "loadgen: %d requests in %.2fs (%.1f req/s), %d ok, %d shed (%.1f%%), %d timeouts, %d errors, %d transport\n",
 		rep.Requests, rep.DurationS, rep.RateRPS, rep.OK, rep.Shed, 100*rep.ShedRate, rep.Timeouts, rep.Errors, rep.Transport)
+	if rep.Targets > 1 {
+		fmt.Fprintf(w, "loadgen: load spread over %d fleet nodes (server metrics below are fleet sums)\n", rep.Targets)
+	}
 	if rep.Dropped > 0 {
 		fmt.Fprintf(w, "loadgen: %d dispatches dropped client-side (max-inflight)\n", rep.Dropped)
 	}

@@ -5,10 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -105,6 +109,95 @@ func TestLoadgenEndToEnd(t *testing.T) {
 		if q, ok := rep.Stages[stage]; !ok || q.Count <= 0 {
 			t.Errorf("%s stage quantiles missing: %+v", stage, rep.Stages)
 		}
+	}
+}
+
+// swapHandler lets the fleet's listeners exist (URLs known) before the
+// servers that need the full member list are built.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(h) }
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// fleetServers starts n in-process buscond nodes wired into one ring.
+func fleetServers(t *testing.T, n int) []string {
+	t.Helper()
+	swaps := make([]*swapHandler, n)
+	urls := make([]string, n)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+		hs := httptest.NewServer(swaps[i])
+		t.Cleanup(hs.Close)
+		urls[i] = hs.URL
+	}
+	for i := range swaps {
+		ring, err := cluster.NewRing(urls[i], urls, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swaps[i].set(server.New(server.Options{Ring: ring}).Handler())
+	}
+	return urls
+}
+
+// TestLoadgenMultiTarget spreads a mixed workload over a 3-node fleet:
+// every request lands on a random node, shard-owner routing settles it
+// on its owner, and the summed /metrics cross-check must balance just
+// like a single daemon's.
+func TestLoadgenMultiTarget(t *testing.T) {
+	urls := fleetServers(t, 3)
+
+	var out, errOut bytes.Buffer
+	code, err := run(context.Background(), []string{
+		"-targets", strings.Join(urls, ","),
+		"-duration", "400ms",
+		"-workers", "3",
+		"-bases", "2",
+		"-cores", "2", "-tasks-per-core", "3", "-util", "0.3",
+		"-mix", "fresh=0.3,dup=0.4,delta=0.3",
+		"-json",
+	}, &out, &errOut)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v\nstderr:\n%s", code, err, errOut.String())
+	}
+
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Targets != 3 {
+		t.Errorf("targets = %d, want 3", rep.Targets)
+	}
+	if rep.OK != rep.Requests {
+		t.Errorf("ok=%d != requests=%d (shed=%d timeouts=%d errors=%d transport=%d)",
+			rep.OK, rep.Requests, rep.Shed, rep.Timeouts, rep.Errors, rep.Transport)
+	}
+	if rep.Server == nil {
+		t.Fatal("report missing server_check")
+	}
+	if !rep.Server.OK && !rep.Server.Skipped {
+		t.Errorf("fleet cross-check mismatch: %+v", rep.Server)
+	}
+	if rep.Server.Skipped {
+		// An in-process fleet never degrades; a skip here means the
+		// degradation guard fired without cause.
+		t.Errorf("fleet cross-check skipped: %s", rep.Server.Reason)
+	}
+
+	// The run must actually have exercised routing: with 3 nodes and
+	// uniformly random targets, some requests landed on non-owners.
+	final, err := scrapeAll(http.DefaultClient, urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Counters["server.peer_proxied"] == 0 {
+		t.Error("no requests were proxied — -targets never hit a non-owner")
+	}
+	if final.Counters["server.peer_degraded"] != 0 || final.Counters["server.peer_errors"] != 0 {
+		t.Errorf("healthy fleet reported degradation: degraded=%d errors=%d",
+			final.Counters["server.peer_degraded"], final.Counters["server.peer_errors"])
 	}
 }
 

@@ -68,9 +68,22 @@ func (s Shard) Owns(key string) bool {
 	if s.Count <= 1 {
 		return true
 	}
+	return PartitionIndex(key, s.Count) == s.Index
+}
+
+// PartitionIndex is the stable FNV-1a partition underneath Owns,
+// exposed on its own because it doubles as the cluster ownership
+// function (internal/cluster): hashing a canonical request key modulo
+// the node count names the node that owns the key — the same mapping
+// for any process that agrees on the count, with no coordination.
+// count <= 1 always maps to index 0.
+func PartitionIndex(key string, count int) int {
+	if count <= 1 {
+		return 0
+	}
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	return int(h.Sum64()%uint64(s.Count)) == s.Index
+	return int(h.Sum64() % uint64(count))
 }
 
 // Record is the durable outcome of one sweep job.

@@ -1,0 +1,167 @@
+// Package cluster turns independent buscond nodes into a fleet with a
+// shared cache discipline: every canonical request key has exactly one
+// owning node, computed from the same stable FNV-1a partition the
+// checkpoint shards use (checkpoint.PartitionIndex). A node that
+// receives a request it does not own forwards it to the owner, so the
+// owner's result cache, coalescing map and warm memo backbones serve
+// the whole fleet — the cluster analyzes each distinct request once,
+// not once per node.
+//
+// The membership model is deliberately static: the ring is the sorted,
+// deduplicated node list every member is started with. Sorting makes
+// ownership order-insensitive — any two nodes given the same member
+// set in any order agree on every key's owner — and determinism across
+// restarts falls out of the hash. There is no gossip, no failure
+// detector and no handoff: an unreachable owner degrades the request
+// to local compute at the edge node (availability over cache
+// locality), which is the right trade for an analysis cache whose
+// entries can always be recomputed.
+//
+// A forwarded request carries the ForwardedHeader hop guard naming the
+// node that forwarded it. A node seeing the header never forwards
+// again, whatever its own ownership opinion — so a misconfigured ring
+// (nodes started with different member lists) costs at most one extra
+// hop and some cache locality, never a proxy loop. See DESIGN.md §14.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// ForwardedHeader marks a request already routed by a peer. Its value
+// is the forwarding node's URL (diagnostics only; presence is what the
+// hop guard checks).
+const ForwardedHeader = "X-Buscond-Forwarded"
+
+// DefaultPeerTimeout bounds one proxy round trip when Options.Timeout
+// is zero. Analyses are bounded by the owner's own admission and
+// MaxOuterIterations, so a stuck peer means a dead or partitioned
+// node; a minute is generous for the largest legitimate analysis and
+// still converts a hung connection into local compute.
+const DefaultPeerTimeout = time.Minute
+
+// Ring is one node's view of the fleet: the sorted member URLs and
+// which of them is this process. The zero value is not useful; build
+// with NewRing.
+type Ring struct {
+	nodes  []string // canonical base URLs, sorted
+	self   int      // index of this node in nodes
+	client *http.Client
+}
+
+// NewRing builds the ring from the member list and this node's own
+// address. members is the full fleet (self included or not — it is
+// added if absent); each entry is host:port or an http:// URL. The
+// list is canonicalized, deduplicated and sorted, so any member
+// permutation yields the same ring and the same ownership function.
+func NewRing(self string, members []string, timeout time.Duration) (*Ring, error) {
+	selfURL, err := canonicalURL(self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: self %q: %w", self, err)
+	}
+	seen := map[string]bool{selfURL: true}
+	nodes := []string{selfURL}
+	for _, m := range members {
+		u, err := canonicalURL(m)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %q: %w", m, err)
+		}
+		if !seen[u] {
+			seen[u] = true
+			nodes = append(nodes, u)
+		}
+	}
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes, client: &http.Client{Timeout: timeout}}
+	if timeout <= 0 {
+		r.client.Timeout = DefaultPeerTimeout
+	}
+	for i, n := range nodes {
+		if n == selfURL {
+			r.self = i
+		}
+	}
+	return r, nil
+}
+
+// canonicalURL normalizes one member address to "http://host:port".
+func canonicalURL(s string) (string, error) {
+	s = strings.TrimSpace(strings.TrimRight(s, "/"))
+	if s == "" {
+		return "", fmt.Errorf("empty address")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	if !strings.HasPrefix(s, "http://") && !strings.HasPrefix(s, "https://") {
+		return "", fmt.Errorf("unsupported scheme (want http or https)")
+	}
+	return s, nil
+}
+
+// Len returns the fleet size.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the sorted member URLs (shared slice; do not mutate).
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// SelfURL returns this node's canonical URL.
+func (r *Ring) SelfURL() string { return r.nodes[r.self] }
+
+// Owner returns the index of the node that owns key — the stable
+// FNV-1a partition shared with the checkpoint shards, over the sorted
+// member list.
+func (r *Ring) Owner(key string) int {
+	return checkpoint.PartitionIndex(key, len(r.nodes))
+}
+
+// OwnerURL returns the owning node's canonical URL.
+func (r *Ring) OwnerURL(key string) string { return r.nodes[r.Owner(key)] }
+
+// OwnsLocally reports whether this node owns the key (no routing
+// needed). A nil ring owns everything — the single-node case.
+func (r *Ring) OwnsLocally(key string) bool {
+	return r == nil || r.Owner(key) == r.self
+}
+
+// Forwarded reports whether the request was already routed by a peer —
+// the hop guard. A forwarded request must be handled locally no matter
+// who this node thinks the owner is, so ownership disagreements (a
+// misconfigured ring) terminate after one hop instead of looping.
+func Forwarded(req *http.Request) bool {
+	return req != nil && req.Header.Get(ForwardedHeader) != ""
+}
+
+// Proxy posts body to the key's owner at path and returns the peer's
+// verbatim response. A non-nil error means the transport failed (the
+// peer is unreachable, or the round trip timed out) and the caller
+// should degrade to local compute; an HTTP error status from the peer
+// comes back as (status, body, nil) for the caller to judge.
+func (r *Ring) Proxy(ctx context.Context, key, path string, body []byte) (status int, respBody []byte, err error) {
+	url := r.OwnerURL(key) + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, r.SelfURL())
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}

@@ -108,6 +108,16 @@ type Options struct {
 	// stack, nil for plain errors. Called from worker goroutines; must
 	// be safe for concurrent use.
 	OnJobFailure func(key string, err error, stack []byte)
+	// Analyze, when non-nil, replaces the in-process engine for the
+	// sweep's analysis phase. It must honor the core.AnalyzeBatchOpts
+	// contract: results in request order, OnResult as requests
+	// complete, OnFailure for per-request terminal failures, and
+	// partial results plus the context error on cancellation.
+	// cmd/experiments -cluster installs a fleet client here
+	// (cluster.Client.AnalyzeBatch); because generation, the fold and
+	// checkpointing are untouched, the study stays byte-identical to a
+	// local run.
+	Analyze func([]core.BatchRequest, core.BatchOptions) ([][]*core.Result, error)
 }
 
 // ProgressUpdate is one live progress snapshot of a sweep.
@@ -446,7 +456,11 @@ func sweep(opts Options, numPoints int,
 			Verdicts: verdicts.Add(v), Schedulable: sched.Add(s),
 		})
 	}
-	all, err := core.AnalyzeBatchOpts(reqs, core.BatchOptions{
+	analyze := core.AnalyzeBatchOpts
+	if opts.Analyze != nil {
+		analyze = opts.Analyze
+	}
+	all, err := analyze(reqs, core.BatchOptions{
 		Workers:  opts.Workers,
 		Observer: opts.Observer,
 		Context:  ctx,

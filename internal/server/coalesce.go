@@ -32,9 +32,24 @@ func newFlightGroup() *flightGroup {
 	return &flightGroup{m: make(map[string]*flightCall)}
 }
 
+// followerTimeoutError marks a coalesce follower whose own context
+// expired before the leader finished: the request got no shared
+// result, so it must account as a timeout, not a coalesce. Unwrap
+// exposes the context error so verdictOf/statusOf classify it like
+// any other deadline.
+type followerTimeoutError struct{ err error }
+
+func (e *followerTimeoutError) Error() string {
+	return fmt.Sprintf("server: timed out waiting for coalesced result: %v", e.err)
+}
+
+func (e *followerTimeoutError) Unwrap() error { return e.err }
+
 // do runs fn for key, coalescing with an identical in-flight call.
 // shared reports whether the result came from another caller's
-// computation.
+// computation; a follower abandoning the wait (its context expired)
+// reports shared=false — it received nothing — with a
+// followerTimeoutError.
 func (g *flightGroup) do(ctx context.Context, key string, fn func() (json.RawMessage, error)) (raw json.RawMessage, shared bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
@@ -44,7 +59,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (json.RawMes
 		case <-c.done:
 			return c.raw, true, c.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return nil, false, &followerTimeoutError{ctx.Err()}
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}

@@ -4,11 +4,13 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 
 	"repro/internal/cacheset"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/taskmodel"
 	"repro/internal/telemetry"
@@ -261,9 +263,13 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
-	s.obs.Add(telemetry.CtrServerDeltaRequests, 1)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req wireDeltaRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -271,6 +277,22 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing base_key (analyze the full request once and reuse its key)"))
 		return
 	}
+	ri := reqInfoFrom(r.Context())
+	// Fleet routing keys on the *base*: the owner of the base key holds
+	// its registry entry and the warm memo backbones the delta reuses.
+	// A base this node already knows resolves locally regardless of
+	// ownership (it was analyzed or relayed here before); a successful
+	// relay counts delta_requests on the owner, not here.
+	degraded := false
+	if s.ring != nil && !cluster.Forwarded(r) && !s.ring.OwnsLocally(req.BaseKey) {
+		if _, _, known := s.bases.get(req.BaseKey); !known {
+			if done := s.proxyDelta(w, r, ri, req.BaseKey, body); done {
+				return
+			}
+			degraded = true
+		}
+	}
+	s.obs.Add(telemetry.CtrServerDeltaRequests, 1)
 	baseTS, baseCfgs, ok := s.bases.get(req.BaseKey)
 	if !ok {
 		s.obs.Add(telemetry.CtrServerDeltaBaseMisses, 1)
@@ -292,15 +314,19 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ri := reqInfoFrom(r.Context())
 	oc, err := s.analyze(r.Context(), ri, ts, cfgs)
 	if err != nil {
 		s.writeError(w, statusOf(err), err)
 		return
 	}
 	// A successful delta logs as "delta" regardless of how the edited
-	// request resolved underneath (fresh, cached or coalesced).
-	ri.forceVerdict("delta")
+	// request resolved underneath (fresh, cached or coalesced) — unless
+	// it only resolved here because its owner was unreachable.
+	if degraded {
+		ri.forceVerdict("degraded")
+	} else {
+		ri.forceVerdict("delta")
+	}
 	tm := ri.stageTimer().Now()
 	s.writeJSON(w, http.StatusOK, wireDeltaResponse{
 		Key: oc.key, BaseKey: req.BaseKey,

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/taskmodel"
+	"repro/internal/telemetry"
+)
+
+// Fleet request routing (DESIGN.md §14). With Options.Ring set, every
+// analysis request has exactly one owning node — the stable FNV-1a
+// partition of its canonical key over the sorted member list — and a
+// non-owner relays the request there, so the owner's cache, coalescing
+// map and warm memo backbones serve the whole fleet. Three rules keep
+// the scheme safe without any cluster state:
+//
+//   - Hop guard: a request carrying the X-Buscond-Forwarded header is
+//     always handled locally, whatever this node's ownership opinion.
+//     A misconfigured ring costs one extra hop, never a loop.
+//   - Degradation: a proxy attempt that fails at the transport, or
+//     that the owner answers with a non-2xx status, falls back to
+//     local compute and marks the verdict "degraded" — node loss
+//     costs latency and cache locality, not availability.
+//   - Edge fill: a successfully relayed /v1/analyze envelope is
+//     parsed and its result bytes stored in the local cache (and the
+//     decoded inputs in the local base registry), so repeat traffic
+//     for a remote key turns into local cache hits.
+//
+// Accounting: a successfully proxied request counts only
+// server.peer_proxied at the edge — the owner counts it as
+// server.requests — so the fleet-wide sum of server.requests equals
+// the number of client requests, exactly as on one node. Degraded
+// requests count server.peer_errors + server.peer_degraded at the
+// edge and then run the ordinary local path (server.requests
+// included).
+
+// routeRemotely reports whether the request for key should be relayed
+// to a peer: this node is in a fleet, the request was not already
+// routed by a peer (hop guard), another node owns the key, and the
+// local cache cannot answer it anyway.
+func (s *Server) routeRemotely(r *http.Request, key string) bool {
+	if s.ring == nil || cluster.Forwarded(r) || s.ring.OwnsLocally(key) {
+		return false
+	}
+	if _, hit := s.cache.get(key); hit {
+		// A previously relayed (or degraded-computed) result answers
+		// locally without another hop; the analyze path will re-find it
+		// and count the cache hit.
+		return false
+	}
+	return true
+}
+
+// relay writes a peer's verbatim response to the client.
+func relay(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// peerDegrade accounts one failed proxy attempt on the way to local
+// compute. err is nil when the peer answered with a failure status.
+func (s *Server) peerDegrade() {
+	s.obs.Add(telemetry.CtrServerPeerErrors, 1)
+	s.obs.Add(telemetry.CtrServerPeerDegraded, 1)
+}
+
+// proxyAnalyze relays one /v1/analyze body to the key's owner. It
+// reports true when the peer's response was written to the client;
+// false tells the caller to degrade to local compute.
+func (s *Server) proxyAnalyze(w http.ResponseWriter, r *http.Request, ri *reqInfo, key string, ts *taskmodel.TaskSet, cfgs []core.Config, body []byte) bool {
+	st := ri.stageTimer()
+	tp := st.Now()
+	status, respBody, err := s.ring.Proxy(r.Context(), key, "/v1/analyze", body)
+	st.AddSince(telemetry.StageProxy, tp)
+	if err != nil || status < 200 || status > 299 {
+		s.peerDegrade()
+		return false
+	}
+	s.obs.Add(telemetry.CtrServerPeerProxied, 1)
+	// Edge fill: keep the relayed result bytes so the next duplicate of
+	// this key is a local cache hit, and register the decoded inputs so
+	// deltas against this base resolve locally too.
+	var env wireAnalyzeResponse
+	if json.Unmarshal(respBody, &env) == nil && env.Key == key && len(env.Results) > 0 {
+		s.cache.put(key, env.Results)
+		s.bases.put(key, ts, cfgs)
+		s.obs.Add(telemetry.CtrServerPeerHits, 1)
+	}
+	ri.setVerdict("proxied")
+	relay(w, status, respBody)
+	return true
+}
+
+// proxyBatchItem relays one batch item as a single /v1/analyze request
+// to its owner and maps the envelope back into a batch item. ok=false
+// tells the caller to degrade the item to local compute.
+func (s *Server) proxyBatchItem(r *http.Request, ri *reqInfo, key string, ts *taskmodel.TaskSet, cfgs []core.Config, item *wireAnalyzeRequest) (wireBatchItem, bool) {
+	body, err := json.Marshal(item)
+	if err != nil {
+		return wireBatchItem{}, false
+	}
+	st := ri.stageTimer()
+	tp := st.Now()
+	status, respBody, perr := s.ring.Proxy(r.Context(), key, "/v1/analyze", body)
+	st.AddSince(telemetry.StageProxy, tp)
+	if perr != nil || status < 200 || status > 299 {
+		s.peerDegrade()
+		return wireBatchItem{}, false
+	}
+	var env wireAnalyzeResponse
+	if uerr := json.Unmarshal(respBody, &env); uerr != nil || env.Key != key {
+		s.peerDegrade()
+		return wireBatchItem{}, false
+	}
+	s.obs.Add(telemetry.CtrServerPeerProxied, 1)
+	if len(env.Results) > 0 {
+		s.cache.put(key, env.Results)
+		s.bases.put(key, ts, cfgs)
+		s.obs.Add(telemetry.CtrServerPeerHits, 1)
+	}
+	ri.setVerdict("proxied")
+	return wireBatchItem{
+		Key: env.Key, Cached: env.Cached, Coalesced: env.Coalesced, Results: env.Results,
+	}, true
+}
+
+// proxyDelta relays one /v1/analyze/delta body to the *base* key's
+// owner — that node holds the base registry entry and the warm memo
+// backbones the delta exists to reuse. Reports true when the peer's
+// response was relayed; false degrades to the local delta path (which
+// 404s honestly if this node never saw the base).
+func (s *Server) proxyDelta(w http.ResponseWriter, r *http.Request, ri *reqInfo, baseKey string, body []byte) bool {
+	st := ri.stageTimer()
+	tp := st.Now()
+	status, respBody, err := s.ring.Proxy(r.Context(), baseKey, "/v1/analyze/delta", body)
+	st.AddSince(telemetry.StageProxy, tp)
+	if err != nil || status < 200 || status > 299 {
+		s.peerDegrade()
+		return false
+	}
+	s.obs.Add(telemetry.CtrServerPeerProxied, 1)
+	// Edge fill under the *edited* request's key, which the envelope
+	// names; the inputs stay unregistered here (the owner has them).
+	var env wireDeltaResponse
+	if json.Unmarshal(respBody, &env) == nil && env.Key != "" && len(env.Results) > 0 {
+		s.cache.put(env.Key, env.Results)
+		s.obs.Add(telemetry.CtrServerPeerHits, 1)
+	}
+	ri.setVerdict("proxied")
+	relay(w, status, respBody)
+	return true
+}

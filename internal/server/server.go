@@ -27,9 +27,15 @@
 //
 // Every non-pprof request carries an ID (X-Request-ID passthrough or
 // generated), is timed per lifecycle stage (queue, cache, coalesce,
-// analyze, marshal), and can emit one structured access-log line
-// (Options.AccessLog). See DESIGN.md §11 for the API contract and §13
-// for the observability layer.
+// proxy, analyze, marshal), and can emit one structured access-log
+// line (Options.AccessLog). See DESIGN.md §11 for the API contract and
+// §13 for the observability layer.
+//
+// With Options.Ring set the server is one node of a buscond fleet:
+// requests whose canonical key another node owns are relayed there
+// (shard-owner routing, internal/cluster), relayed results fill the
+// local cache, and an unreachable owner degrades to local compute —
+// see proxy.go and DESIGN.md §14.
 package server
 
 import (
@@ -46,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/taskmodel"
 	"repro/internal/telemetry"
@@ -98,6 +105,13 @@ type Options struct {
 	AccessLogFormat string
 	// Now overrides the cache clock (tests). nil selects time.Now.
 	Now func() time.Time
+	// Ring, when non-nil, joins this server to a buscond fleet with
+	// shard-owner request routing (internal/cluster): requests whose
+	// canonical key another node owns are proxied there, an unreachable
+	// owner degrades to local compute, and successful relays fill the
+	// local cache. nil serves everything locally (the single-node
+	// deployment).
+	Ring *cluster.Ring
 }
 
 // Server is the HTTP front end. Create with New, expose via Handler.
@@ -108,6 +122,7 @@ type Server struct {
 	flight   *flightGroup
 	memo     *core.MemoStore // nil when MemoEntries < 0
 	bases    *baseRegistry
+	ring     *cluster.Ring // nil outside a fleet
 	sem      chan struct{} // worker slots
 	tickets  chan struct{} // worker slots + waiting room; full => shed
 	mux      *http.ServeMux
@@ -160,6 +175,7 @@ func New(opts Options) *Server {
 		flight:  newFlightGroup(),
 		memo:    memo,
 		bases:   newBaseRegistry(opts.BaseEntries),
+		ring:    opts.Ring,
 		sem:     make(chan struct{}, opts.Workers),
 		tickets: make(chan struct{}, opts.Workers+opts.QueueDepth),
 		access:  newAccessLogger(opts.AccessLog, opts.AccessLogFormat),
@@ -203,6 +219,12 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // errShed marks requests refused by admission control.
 var errShed = errors.New("server: worker pool and queue full")
 
+// maxBatchItems bounds one batch request. The cap is far above any
+// sane sweep step (a full utilization grid at paper scale is ~400
+// items) and exists to turn an absurd or hostile batch into a 400
+// instead of an allocation storm.
+const maxBatchItems = 1024
+
 // analysisError marks a request whose engine run failed terminally
 // (even after the isolation layer's reference retry).
 type analysisError struct{ err error }
@@ -228,13 +250,11 @@ func (s *Server) analyze(ctx context.Context, ri *reqInfo, ts *taskmodel.TaskSet
 	s.obs.Add(telemetry.CtrServerRequests, 1)
 	t0 := st.Now()
 	key := core.CanonicalKey(ts, cfgs)
-	// Every analyzed request is addressable as a delta base — including
-	// the edited sets produced by deltas themselves, so sweeps chain.
-	s.bases.put(key, ts, cfgs)
 	raw, hit := s.cache.get(key)
 	st.AddSince(telemetry.StageCache, t0)
 	if hit {
 		s.obs.Add(telemetry.CtrServerCacheHits, 1)
+		s.bases.put(key, ts, cfgs)
 		ri.addCacheHit()
 		ri.setVerdict("cached")
 		return outcome{key: key, raw: raw, cached: true}, nil
@@ -246,15 +266,26 @@ func (s *Server) analyze(ctx context.Context, ri *reqInfo, ts *taskmodel.TaskSet
 	})
 	if shared {
 		// Only the follower's wait is a coalesce stage; the leader's time
-		// is decomposed inside compute.
+		// is decomposed inside compute. A follower whose own context
+		// expired is *not* coalesced — it got nothing — and accounts as a
+		// timeout below instead.
 		st.AddSince(telemetry.StageCoalesce, tw)
 		s.obs.Add(telemetry.CtrServerCoalesced, 1)
 		ri.addCoalesced()
 	}
 	if err != nil {
+		var fte *followerTimeoutError
+		if errors.As(err, &fte) {
+			s.obs.Add(telemetry.CtrServerTimeouts, 1)
+		}
 		ri.setVerdict(verdictOf(err))
 		return outcome{key: key}, err
 	}
+	// Only a resolved request is addressable as a delta base (including
+	// the edited sets produced by deltas themselves, so sweeps chain):
+	// registering before admission would let a flood of shed requests
+	// churn the registry and evict bases that were actually analyzed.
+	s.bases.put(key, ts, cfgs)
 	if shared {
 		ri.setVerdict("coalesced")
 	} else {
@@ -371,11 +402,16 @@ func (s *Server) compute(ri *reqInfo, key string, ts *taskmodel.TaskSet, cfgs []
 	}
 	tm := st.Now()
 	raw, merr := json.Marshal(out[0])
+	st.AddSince(telemetry.StageMarshal, tm)
 	if merr != nil {
 		return nil, merr
 	}
+	// The cache fill is cache time, not marshal time — conflating the
+	// two would hide a contended or oversized cache inside the marshal
+	// histogram.
+	tc := st.Now()
 	s.cache.put(key, raw)
-	st.AddSince(telemetry.StageMarshal, tm)
+	st.AddSince(telemetry.StageCache, tc)
 	return raw, nil
 }
 
@@ -421,8 +457,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
+	// The body is read whole (not streamed into the decoder) so a
+	// non-owner node can relay it to the owning peer verbatim.
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req wireAnalyzeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -432,10 +475,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ri := reqInfoFrom(r.Context())
+	key := core.CanonicalKey(ts, cfgs)
+	degraded := false
+	if s.routeRemotely(r, key) {
+		if done := s.proxyAnalyze(w, r, ri, key, ts, cfgs, body); done {
+			return
+		}
+		degraded = true
+	}
 	oc, err := s.analyze(r.Context(), ri, ts, cfgs)
 	if err != nil {
 		s.writeError(w, statusOf(err), err)
 		return
+	}
+	if degraded {
+		ri.forceVerdict("degraded")
 	}
 	tm := ri.stageTimer().Now()
 	s.writeJSON(w, http.StatusOK, wireAnalyzeResponse{
@@ -459,32 +513,66 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
+	if len(req.Requests) > maxBatchItems {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d items exceeds the %d-item limit (split it)", len(req.Requests), maxBatchItems))
+		return
+	}
 	ri := reqInfoFrom(r.Context())
 	items := make([]wireBatchItem, len(req.Requests))
+	// Bounded fan-out: a fixed pool of runners claims items off a shared
+	// index instead of one goroutine per item — a huge batch must not be
+	// a goroutine bomb that sidesteps admission sizing. The pool is
+	// capped at Workers because that is all the concurrency the engine
+	// semaphore will grant anyway.
+	runners := s.opts.Workers
+	if runners > len(req.Requests) {
+		runners = len(req.Requests)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := range req.Requests {
+	for wkr := 0; wkr < runners; wkr++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			ts, cfgs, err := req.Requests[i].decode()
-			if err != nil {
-				items[i] = wireBatchItem{Error: err.Error(), Status: http.StatusBadRequest}
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Requests) {
+					return
+				}
+				items[i] = s.batchItem(r, ri, &req.Requests[i])
 			}
-			oc, err := s.analyze(r.Context(), ri, ts, cfgs)
-			if err != nil {
-				items[i] = wireBatchItem{Key: oc.key, Error: err.Error(), Status: statusOf(err)}
-				return
-			}
-			items[i] = wireBatchItem{
-				Key: oc.key, Cached: oc.cached, Coalesced: oc.coalesced, Results: oc.raw,
-			}
-		}(i)
+		}()
 	}
 	wg.Wait()
 	tm := ri.stageTimer().Now()
 	s.writeJSON(w, http.StatusOK, wireBatchResponse{Results: items})
 	ri.stageTimer().AddSince(telemetry.StageMarshal, tm)
+}
+
+// batchItem resolves one batch item: decode, fleet routing (proxy to
+// the owner, degrade on peer failure), then the ordinary analyze path.
+func (s *Server) batchItem(r *http.Request, ri *reqInfo, item *wireAnalyzeRequest) wireBatchItem {
+	ts, cfgs, err := item.decode()
+	if err != nil {
+		return wireBatchItem{Error: err.Error(), Status: http.StatusBadRequest}
+	}
+	key := core.CanonicalKey(ts, cfgs)
+	degraded := false
+	if s.routeRemotely(r, key) {
+		if it, ok := s.proxyBatchItem(r, ri, key, ts, cfgs, item); ok {
+			return it
+		}
+		degraded = true
+	}
+	oc, err := s.analyze(r.Context(), ri, ts, cfgs)
+	if err != nil {
+		return wireBatchItem{Key: oc.key, Error: err.Error(), Status: statusOf(err)}
+	}
+	if degraded {
+		ri.forceVerdict("degraded")
+	}
+	return wireBatchItem{Key: oc.key, Cached: oc.cached, Coalesced: oc.coalesced, Results: oc.raw}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

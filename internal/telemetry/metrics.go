@@ -144,6 +144,21 @@ const (
 	CtrServerDeltaRequests
 	CtrServerDeltaBaseMisses
 	CtrServerDeltaEdits
+	// Cluster peer family (internal/cluster routing in the server):
+	// shard-owner request forwarding between buscond nodes.
+	// CtrServerPeerProxied counts requests this node relayed to their
+	// owning peer (the edge does not also count them as
+	// server.requests — fleet-summed server.requests stays equal to
+	// client requests); CtrServerPeerHits those proxied requests whose
+	// relayed envelope filled the local cache (peer cache fill);
+	// CtrServerPeerErrors proxy transport failures or non-2xx peer
+	// responses; CtrServerPeerDegraded requests answered by local
+	// compute because their owner was unreachable (node-loss
+	// degradation — latency cost, not availability).
+	CtrServerPeerProxied
+	CtrServerPeerHits
+	CtrServerPeerErrors
+	CtrServerPeerDegraded
 
 	numCounters
 )
@@ -189,6 +204,10 @@ var counterNames = [numCounters]string{
 	CtrServerDeltaRequests:   "server.delta_requests",
 	CtrServerDeltaBaseMisses: "server.delta_base_misses",
 	CtrServerDeltaEdits:      "server.delta_edits",
+	CtrServerPeerProxied:     "server.peer_proxied",
+	CtrServerPeerHits:        "server.peer_hits",
+	CtrServerPeerErrors:      "server.peer_errors",
+	CtrServerPeerDegraded:    "server.peer_degraded",
 }
 
 func (c Counter) String() string {
@@ -217,6 +236,7 @@ const (
 	HistStageQueue
 	HistStageCache
 	HistStageCoalesce
+	HistStageProxy
 	HistStageAnalyze
 	HistStageMarshal
 	// HistRequestTotal is the whole-request wall clock in microseconds
@@ -233,6 +253,7 @@ var histNames = [numHists]string{
 	HistStageQueue:    "server.stage_queue_us",
 	HistStageCache:    "server.stage_cache_us",
 	HistStageCoalesce: "server.stage_coalesce_us",
+	HistStageProxy:    "server.stage_proxy_us",
 	HistStageAnalyze:  "server.stage_analyze_us",
 	HistStageMarshal:  "server.stage_marshal_us",
 	HistRequestTotal:  "server.request_us",

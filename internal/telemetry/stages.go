@@ -23,16 +23,20 @@ const (
 	// (a ticket was available, the semaphore was not).
 	StageQueue Stage = iota
 	// StageCache is canonical-key computation plus result-cache
-	// lookups, including the leader's post-leadership double-check.
+	// lookups and fills, including the leader's post-leadership
+	// double-check.
 	StageCache
 	// StageCoalesce is a follower's wait for an identical in-flight
 	// request's result.
 	StageCoalesce
+	// StageProxy is the round trip to a key's owning peer node
+	// (internal/cluster shard-owner routing), including a failed
+	// attempt that degraded to local compute.
+	StageProxy
 	// StageAnalyze is the engine invocation, content-addressed memo
 	// lookups included.
 	StageAnalyze
-	// StageMarshal is result marshaling, the cache fill and the
-	// response write.
+	// StageMarshal is result marshaling and the response write.
 	StageMarshal
 
 	// NumStages bounds the stage enum; StageTimer and the access log
@@ -44,6 +48,7 @@ var stageNames = [NumStages]string{
 	StageQueue:    "queue",
 	StageCache:    "cache",
 	StageCoalesce: "coalesce",
+	StageProxy:    "proxy",
 	StageAnalyze:  "analyze",
 	StageMarshal:  "marshal",
 }
@@ -64,6 +69,8 @@ func (s Stage) Hist() HistID {
 		return HistStageCache
 	case StageCoalesce:
 		return HistStageCoalesce
+	case StageProxy:
+		return HistStageProxy
 	case StageAnalyze:
 		return HistStageAnalyze
 	case StageMarshal:
