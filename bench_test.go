@@ -163,7 +163,7 @@ func BenchmarkAblationCPRO(b *testing.B) {
 // policy with persistence on and off.
 func BenchmarkAblationArbiter(b *testing.B) {
 	ts := benchTaskSet(b)
-	for _, arb := range []core.Arbiter{core.FP, core.RR, core.TDMA, core.Perfect} {
+	for _, arb := range buscon.Arbiters() {
 		for _, p := range []bool{false, true} {
 			name := arb.String()
 			if p {
@@ -176,6 +176,31 @@ func BenchmarkAblationArbiter(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkRegulatedSweep is a regulation-parameter design sweep on
+// one task set — the regulated analogue of the slot-size sweep of
+// Fig. 3d. Every (Q, P) point rebuilds the platform but reuses the
+// task list; the per-point cost is dominated by the regulated BAT
+// path and its replenishment breakpoints, which is exactly the new
+// code the CI bench gate should watch.
+func BenchmarkRegulatedSweep(b *testing.B) {
+	ts := benchTaskSet(b)
+	budgets := []int64{1, 2, 4, 8}
+	periods := []buscon.Time{50, 100, 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range budgets {
+			for _, p := range periods {
+				plat := ts.Platform
+				plat.RegBudget, plat.RegPeriod = q, p
+				point := buscon.NewTaskSet(plat, ts.Tasks)
+				if _, err := core.Analyze(point, core.Config{Arbiter: core.Regulated, Persistence: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
 }

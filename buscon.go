@@ -83,7 +83,17 @@ const (
 	TDMA = core.TDMA
 	// Perfect is the contention-free reference bus of Fig. 2.
 	Perfect = core.Perfect
+	// Regulated is the MemGuard-style bandwidth-regulated bus: per-core
+	// budgets of Platform.RegBudget accesses, replenished every
+	// Platform.RegPeriod cycles, with dynamic reclaim.
+	Regulated = core.Regulated
+	// ParAware is the parallelism-aware per-access bound: each access
+	// waits for at most one in-flight request per other core.
+	ParAware = core.ParAware
 )
+
+// Arbiters returns every declared arbiter, in declaration order.
+func Arbiters() []Arbiter { return core.Arbiters() }
 
 // Re-exported generation types: see internal/taskgen.
 type (
@@ -205,6 +215,10 @@ func SimulateSuite(ts *TaskSet, arbiter Arbiter, jobs int) (*SimulationResult, e
 		policy = sim.PolicyRR
 	case TDMA:
 		policy = sim.PolicyTDMA
+	case Regulated:
+		policy = sim.PolicyRegulated
+	case ParAware:
+		policy = sim.PolicyParAware
 	default:
 		return nil, fmt.Errorf("buscon: no simulator policy for arbiter %v", arbiter)
 	}

@@ -31,7 +31,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("tasks = %d, want 32", len(ts.Tasks))
 	}
 
-	for _, arb := range []buscon.Arbiter{buscon.FP, buscon.RR, buscon.TDMA, buscon.Perfect} {
+	if arbs := buscon.Arbiters(); len(arbs) != 6 {
+		t.Fatalf("Arbiters() = %v, want 6 declared arbiters", arbs)
+	}
+	for _, arb := range buscon.Arbiters() {
 		base, err := buscon.Analyze(ts, buscon.AnalysisConfig{Arbiter: arb})
 		if err != nil {
 			t.Fatalf("%v: %v", arb, err)
@@ -165,6 +168,64 @@ func TestFacadeSimulateSuite(t *testing.T) {
 	}
 	if _, err := buscon.SimulateSuite(ts, buscon.Perfect, 1); err == nil {
 		t.Fatal("Perfect arbiter accepted by the simulator")
+	}
+}
+
+// TestArbiterCompletenessFacade drives every declared arbiter through
+// each public entry point that switches on it. New arbiters must either
+// be handled or rejected with a clean error; an engine panic or a
+// silent wrong-policy fallthrough fails here before it can ship.
+func TestArbiterCompletenessFacade(t *testing.T) {
+	plat := buscon.DefaultPlatform()
+	plat.NumCores = 2
+	plat.Cache.NumSets = 64
+	pool, err := buscon.BenchmarkPool(plat.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var small []buscon.BenchmarkParams
+	for _, p := range pool {
+		switch p.Name {
+		case "lcdnum", "cnt", "qurt":
+			small = append(small, p)
+		}
+	}
+	ts, err := buscon.GenerateTaskSet(buscon.GenConfig{
+		Platform: plat, TasksPerCore: 2, CoreUtilization: 0.2,
+	}, small, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arb := range buscon.Arbiters() {
+		cfg := buscon.AnalysisConfig{Arbiter: arb, Persistence: true}
+		if _, err := buscon.Analyze(ts, cfg); err != nil {
+			t.Errorf("Analyze(%v): %v", arb, err)
+		}
+		if _, err := buscon.Explain(ts, cfg, ts.Tasks[len(ts.Tasks)-1].Priority); err != nil {
+			t.Errorf("Explain(%v): %v", arb, err)
+		}
+		_, err := buscon.SimulateSuite(ts, arb, 1)
+		if arb == buscon.Perfect {
+			// The contention-free bus has no cycle-accurate counterpart;
+			// the rejection must be an error, not a panic or a wrong
+			// policy.
+			if err == nil {
+				t.Error("SimulateSuite(Perfect) did not reject")
+			}
+		} else if err != nil {
+			t.Errorf("SimulateSuite(%v): %v", arb, err)
+		}
+	}
+	// An out-of-range arbiter must be rejected everywhere, cleanly.
+	bogus := buscon.AnalysisConfig{Arbiter: buscon.Arbiter(99)}
+	if _, err := buscon.Analyze(ts, bogus); err == nil {
+		t.Error("Analyze accepted an undeclared arbiter")
+	}
+	if _, err := buscon.Explain(ts, bogus, 0); err == nil {
+		t.Error("Explain accepted an undeclared arbiter")
+	}
+	if _, err := buscon.SimulateSuite(ts, buscon.Arbiter(99), 1); err == nil {
+		t.Error("SimulateSuite accepted an undeclared arbiter")
 	}
 }
 

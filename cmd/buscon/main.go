@@ -43,8 +43,12 @@ func parseArbiter(s string) (core.Arbiter, error) {
 		return core.TDMA, nil
 	case "perfect":
 		return core.Perfect, nil
+	case "regulated":
+		return core.Regulated, nil
+	case "paraware":
+		return core.ParAware, nil
 	default:
-		return 0, fmt.Errorf("unknown arbiter %q (want fp, rr, tdma or perfect)", s)
+		return 0, fmt.Errorf("unknown arbiter %q (want fp, rr, tdma, perfect, regulated or paraware)", s)
 	}
 }
 
@@ -88,7 +92,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	fs := flag.NewFlagSet("buscon", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "task set JSON file (required; - for stdin)")
-	arbS := fs.String("arbiter", "rr", "bus arbiter: fp, rr, tdma or perfect")
+	arbS := fs.String("arbiter", "rr", "bus arbiter: fp, rr, tdma, perfect, regulated or paraware")
 	persist := fs.Bool("persistence", false, "enable the cache persistence-aware analysis (Lemmas 1-2)")
 	crpdS := fs.String("crpd", "ecb-union", "CRPD approach: ecb-union, ucb-only, ecb-only, ucb-union, combined")
 	cproS := fs.String("cpro", "union", "CPRO approach: union, multiset, full, none")

@@ -119,6 +119,8 @@ var studies = []studyFn{
 	{"fig2a", true, func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.FP, o) }},
 	{"fig2b", true, func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.RR, o) }},
 	{"fig2c", true, func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.TDMA, o) }},
+	{"fig2reg", true, func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.Regulated, o) }},
+	{"fig2par", true, func(o experiments.Options) (*experiments.Study, error) { return experiments.Fig2(core.ParAware, o) }},
 	{"fig3a", true, experiments.Fig3a},
 	{"fig3b", true, experiments.Fig3b},
 	{"fig3c", true, experiments.Fig3c},

@@ -27,15 +27,19 @@ func run() error {
 	sets := flag.Int("sets", 256, "cache sets per core")
 	blockSize := flag.Int("block", 32, "cache block size (bytes)")
 	slot := flag.Int("slot", 2, "RR/TDMA slots per core")
+	regQ := flag.Int64("reg-budget", 5, "regulated-bus budget Q (accesses per period)")
+	regP := flag.Int64("reg-period", 100, "regulated-bus replenishment period P (cycles)")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	flag.Parse()
 
 	cfg := taskgen.Config{
 		Platform: taskmodel.Platform{
-			NumCores: *cores,
-			Cache:    taskmodel.CacheConfig{NumSets: *sets, BlockSizeBytes: *blockSize},
-			DMem:     taskmodel.Time(*dmem),
-			SlotSize: *slot,
+			NumCores:  *cores,
+			Cache:     taskmodel.CacheConfig{NumSets: *sets, BlockSizeBytes: *blockSize},
+			DMem:      taskmodel.Time(*dmem),
+			SlotSize:  *slot,
+			RegBudget: *regQ,
+			RegPeriod: taskmodel.Time(*regP),
 		},
 		TasksPerCore:    *perCore,
 		CoreUtilization: *util,

@@ -89,8 +89,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "analysis\tschedulable\tmax d_mem\tcritical scaling")
 	interrupted := false
+	arbs := []core.Arbiter{core.FP, core.RR, core.TDMA}
+	// The regulated row needs the regulation parameters; task sets
+	// written before they existed decode them as zero, so gate the row
+	// rather than fail the whole table.
+	if ts.Platform.RegBudget >= 1 && ts.Platform.RegPeriod >= 1 {
+		arbs = append(arbs, core.Regulated)
+	}
+	arbs = append(arbs, core.ParAware)
 rows:
-	for _, arb := range []core.Arbiter{core.FP, core.RR, core.TDMA} {
+	for _, arb := range arbs {
 		for _, persistence := range []bool{false, true} {
 			// Each row runs three searches (tens to hundreds of analyzer
 			// runs); stop between rows when interrupted so the table built

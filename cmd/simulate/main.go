@@ -46,10 +46,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	cores := fs.Int("cores", 2, "number of cores")
 	perCore := fs.Int("tasks-per-core", 3, "tasks per core")
 	util := fs.Float64("util", 0.3, "per-core utilization target")
-	policyS := fs.String("policy", "rr", "bus policy: fp, rr or tdma")
+	policyS := fs.String("policy", "rr", "bus policy: fp, rr, tdma, regulated or paraware")
 	jobs := fs.Int("jobs", 3, "simulate about this many jobs of the longest-period task")
 	sets := fs.Int("sets", 64, "cache sets per core")
 	dmem := fs.Int64("dmem", 5, "memory access time (cycles)")
+	regQ := fs.Int64("reg-budget", 5, "regulated bus: per-core budget Q (accesses per period)")
+	regP := fs.Int64("reg-period", 100, "regulated bus: replenishment period P (cycles)")
 	allBench := fs.Bool("all-benchmarks", false, "draw from the full suite (large traces; slow)")
 	trace := fs.Bool("trace", false, "print every simulator event (releases, misses, bus grants, preemptions)")
 	if err := fs.Parse(args); err != nil {
@@ -68,16 +70,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 		policy, arbiter = sim.PolicyRR, core.RR
 	case "tdma":
 		policy, arbiter = sim.PolicyTDMA, core.TDMA
+	case "regulated":
+		policy, arbiter = sim.PolicyRegulated, core.Regulated
+	case "paraware":
+		policy, arbiter = sim.PolicyParAware, core.ParAware
 	default:
-		return 1, fmt.Errorf("unknown policy %q", *policyS)
+		return 1, fmt.Errorf("unknown policy %q (want fp, rr, tdma, regulated or paraware)", *policyS)
 	}
 
 	cfg := taskgen.Config{
 		Platform: taskmodel.Platform{
-			NumCores: *cores,
-			Cache:    taskmodel.CacheConfig{NumSets: *sets, BlockSizeBytes: 32},
-			DMem:     taskmodel.Time(*dmem),
-			SlotSize: 2,
+			NumCores:  *cores,
+			Cache:     taskmodel.CacheConfig{NumSets: *sets, BlockSizeBytes: 32},
+			DMem:      taskmodel.Time(*dmem),
+			SlotSize:  2,
+			RegBudget: *regQ,
+			RegPeriod: taskmodel.Time(*regP),
 		},
 		TasksPerCore:    *perCore,
 		CoreUtilization: *util,

@@ -59,6 +59,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 			Cache:    taskmodel.CacheConfig{NumSets: 64, BlockSizeBytes: 32},
 			DMem:     5,
 			SlotSize: 2,
+			// A small budget over a mid-length period keeps the regulated
+			// policy's budget-exhaustion path hot: cores regularly drain
+			// their quota mid-window and fall back to reclaim service.
+			RegBudget: 4,
+			RegPeriod: 150,
 		},
 		TasksPerCore:    *perCore,
 		CoreUtilization: *util,
@@ -86,12 +91,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	policies := []struct {
 		arb core.Arbiter
 		pol sim.Policy
-	}{{core.FP, sim.PolicyFP}, {core.RR, sim.PolicyRR}, {core.TDMA, sim.PolicyTDMA}}
+	}{
+		{core.FP, sim.PolicyFP}, {core.RR, sim.PolicyRR}, {core.TDMA, sim.PolicyTDMA},
+		{core.Regulated, sim.PolicyRegulated}, {core.ParAware, sim.PolicyParAware},
+	}
 	analyses := []core.Config{
 		{Arbiter: core.FP}, {Arbiter: core.FP, Persistence: true},
 		{Arbiter: core.RR}, {Arbiter: core.RR, Persistence: true},
 		{Arbiter: core.RR, Persistence: true, CPRO: persistence.MultisetUnion},
 		{Arbiter: core.TDMA}, {Arbiter: core.TDMA, Persistence: true},
+		{Arbiter: core.Regulated}, {Arbiter: core.Regulated, Persistence: true},
+		{Arbiter: core.ParAware}, {Arbiter: core.ParAware, Persistence: true},
 	}
 
 	fmt.Fprintf(stdout, "validate: campaign of %d workloads (%d cores, %d tasks/core, util %.2f)\n",

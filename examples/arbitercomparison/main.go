@@ -37,6 +37,8 @@ func main() {
 		{"RR-CP", buscon.RR, true},
 		{"TDMA", buscon.TDMA, false},
 		{"TDMA-CP", buscon.TDMA, true},
+		{"Reg-CP", buscon.Regulated, true},
+		{"Par-CP", buscon.ParAware, true},
 		{"Perfect", buscon.Perfect, true},
 	}
 

@@ -251,6 +251,10 @@ func arbiterName(c core.Config) (string, error) {
 		return "tdma", nil
 	case core.Perfect:
 		return "perfect", nil
+	case core.Regulated:
+		return "regulated", nil
+	case core.ParAware:
+		return "paraware", nil
 	}
 	return "", fmt.Errorf("unmapped arbiter %v", c.Arbiter)
 }

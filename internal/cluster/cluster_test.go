@@ -7,6 +7,9 @@ import (
 	"testing"
 
 	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/crpd"
+	"repro/internal/persistence"
 )
 
 func mustRing(t *testing.T, self string, members []string) *Ring {
@@ -115,5 +118,34 @@ func TestForwardedHopGuard(t *testing.T) {
 	}
 	if Forwarded(nil) {
 		t.Fatal("nil request reported as forwarded")
+	}
+}
+
+// TestWireNameCompleteness drives every declared engine enum value
+// through the client's wire-name mappers: a newly declared arbiter,
+// CRPD or CPRO approach the encoder cannot name would otherwise only
+// surface as a runtime failure in the middle of a cluster sweep.
+func TestWireNameCompleteness(t *testing.T) {
+	for _, arb := range core.Arbiters() {
+		if name, err := arbiterName(core.Config{Arbiter: arb}); err != nil || name == "" {
+			t.Errorf("arbiterName(%v) = %q, %v", arb, name, err)
+		}
+	}
+	if _, err := arbiterName(core.Config{Arbiter: core.Arbiter(99)}); err == nil {
+		t.Error("arbiterName accepted an undeclared arbiter")
+	}
+	for _, ap := range []crpd.Approach{
+		crpd.ECBUnion, crpd.UCBOnly, crpd.ECBOnly, crpd.UCBUnion, crpd.Combined,
+	} {
+		if name, err := crpdNameOf(core.Config{CRPD: ap}); err != nil || name == "" {
+			t.Errorf("crpdNameOf(%v) = %q, %v", ap, name, err)
+		}
+	}
+	for _, ap := range []persistence.CPROApproach{
+		persistence.Union, persistence.MultisetUnion, persistence.FullReload, persistence.None,
+	} {
+		if name, err := cproNameOf(core.Config{CPRO: ap}); err != nil || name == "" {
+			t.Errorf("cproNameOf(%v) = %q, %v", ap, name, err)
+		}
 	}
 }

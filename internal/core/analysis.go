@@ -54,7 +54,29 @@ const (
 	// suffer no cross-core interference; the task set must additionally
 	// keep total bus utilization at or below one.
 	Perfect
+	// Regulated is a MemGuard-style bandwidth-regulated bus (Agrawal et
+	// al.): each core holds a budget of Q = RegBudget accesses
+	// replenished every P = RegPeriod cycles, budgeted requests have
+	// strict priority over out-of-budget ones, and unused bandwidth is
+	// dynamically reclaimed round-robin (one access per grant). A window
+	// of length t overlaps at most ⌈t/P⌉+1 replenishment periods, so a
+	// remote core injects at most (⌈t/P⌉+1)·Q budgeted accesses plus, by
+	// the slot-1 round robin of the reclaim class, one reclaimed access
+	// per own access — min(BAO, regCap(t) + BAS) per remote core.
+	Regulated
+	// ParAware is the parallelism-aware per-access bound (Yun et al.):
+	// with one outstanding request per core served oldest-class
+	// round-robin one access at a time, each own access waits for at
+	// most one in-flight request per other core — min(BAO, BAS) per
+	// remote core, i.e. Eq. (8) with slot size pinned to 1.
+	ParAware
 )
+
+// Arbiters returns every declared arbiter, in declaration order — the
+// iteration domain of completeness tests and sweep grids.
+func Arbiters() []Arbiter {
+	return []Arbiter{FP, RR, TDMA, Perfect, Regulated, ParAware}
+}
 
 func (a Arbiter) String() string {
 	switch a {
@@ -66,6 +88,10 @@ func (a Arbiter) String() string {
 		return "TDMA"
 	case Perfect:
 		return "Perfect"
+	case Regulated:
+		return "Regulated"
+	case ParAware:
+		return "ParAware"
 	default:
 		return fmt.Sprintf("Arbiter(%d)", int(a))
 	}
@@ -93,6 +119,41 @@ type Config struct {
 // arbiter: ECB-union CRPD, CPRO-union, persistence on.
 func DefaultConfig(arb Arbiter, persistence bool) Config {
 	return Config{Arbiter: arb, Persistence: persistence}
+}
+
+// ValidateFor reports the first problem that makes the configuration
+// unanalyzable against the platform: an Arbiter, CRPD or CPRO value
+// outside the declared enums (possible when a numeric config arrives
+// from a newer peer or a careless caller — the engine switches must
+// never see one), or a Regulated configuration on a platform that
+// carries no regulation parameters. Every analysis entry point runs it,
+// so malformed enum values surface as errors, not panics.
+func (c Config) ValidateFor(p taskmodel.Platform) error {
+	if c.Arbiter < FP || c.Arbiter > ParAware {
+		return fmt.Errorf("core: unknown arbiter %v", c.Arbiter)
+	}
+	if c.CRPD < crpd.ECBUnion || c.CRPD > crpd.Combined {
+		return fmt.Errorf("core: unknown CRPD approach %d", int(c.CRPD))
+	}
+	if c.CPRO < persistence.Union || c.CPRO > persistence.None {
+		return fmt.Errorf("core: unknown CPRO approach %d", int(c.CPRO))
+	}
+	if c.MaxOuterIterations < 0 {
+		return fmt.Errorf("core: negative MaxOuterIterations %d", c.MaxOuterIterations)
+	}
+	if c.Arbiter == Regulated && (p.RegBudget < 1 || p.RegPeriod < 1) {
+		return fmt.Errorf("core: regulated arbiter needs platform RegBudget >= 1 and RegPeriod >= 1 (got Q=%d P=%d)", p.RegBudget, p.RegPeriod)
+	}
+	return nil
+}
+
+// regCapAt is the budgeted-access cap of the regulated bus: a window of
+// length t overlaps at most ⌈t/P⌉+1 replenishment periods, each
+// granting at most Q budgeted accesses per core. Shared by the
+// analyzer, the reference and the explainer so all three charge the
+// same cap.
+func regCapAt(p taskmodel.Platform, t taskmodel.Time) int64 {
+	return (ceilDiv(int64(t), int64(p.RegPeriod)) + 1) * p.RegBudget
 }
 
 // TaskResult reports the analysis outcome for one task.
@@ -177,6 +238,9 @@ func NewAnalyzer(ts *taskmodel.TaskSet, cfg Config) (*Analyzer, error) {
 // one the tables were built for.
 func NewAnalyzerWithTables(ts *taskmodel.TaskSet, cfg Config, tbl *Tables) (*Analyzer, error) {
 	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.ValidateFor(ts.Platform); err != nil {
 		return nil, err
 	}
 	if tbl.crpd != cfg.CRPD {
@@ -502,6 +566,27 @@ func (a *Analyzer) BAT(i int, t taskmodel.Time) int64 {
 		s := int64(a.TS.Platform.SlotSize)
 		l := int64(a.TS.Platform.NumCores)
 		return bas + (l-1)*s*bas + a.plus1(i, core)
+	case Regulated:
+		n := a.TS.LowestPriority()
+		rc := regCapAt(a.TS.Platform, t)
+		total := bas + a.plus1(i, core)
+		for y := 0; y < a.TS.Platform.NumCores; y++ {
+			if y == core {
+				continue
+			}
+			total += min64(a.BAO(n, y, t), rc+bas)
+		}
+		return total
+	case ParAware:
+		n := a.TS.LowestPriority()
+		total := bas + a.plus1(i, core)
+		for y := 0; y < a.TS.Platform.NumCores; y++ {
+			if y == core {
+				continue
+			}
+			total += min64(a.BAO(n, y, t), bas)
+		}
+		return total
 	default:
 		panic(fmt.Sprintf("core: unknown arbiter %d", int(a.Cfg.Arbiter)))
 	}
@@ -652,6 +737,31 @@ func (a *Analyzer) dominantTerm(ti *taskmodel.Task, hasLP bool) string {
 		slot := int64(a.TS.Platform.SlotSize)
 		if v := (l - 1) * slot * bas * dmem; v > bestV {
 			best, bestV = "SlotWait", v
+		}
+		if v := plus1 * dmem; v > bestV {
+			best, bestV = "Blocking", v
+		}
+	case Regulated:
+		rc := regCapAt(a.TS.Platform, s.at)
+		for y := range s.baoSum {
+			if y == ti.Core {
+				continue
+			}
+			if v := min64(s.baoSum[y], rc+bas) * dmem; v > bestV {
+				best, bestV = "Remote["+strconv.Itoa(y)+"]", v
+			}
+		}
+		if v := plus1 * dmem; v > bestV {
+			best, bestV = "Blocking", v
+		}
+	case ParAware:
+		for y := range s.baoSum {
+			if y == ti.Core {
+				continue
+			}
+			if v := min64(s.baoSum[y], bas) * dmem; v > bestV {
+				best, bestV = "Remote["+strconv.Itoa(y)+"]", v
+			}
 		}
 		if v := plus1 * dmem; v > bestV {
 			best, bestV = "Blocking", v
@@ -977,6 +1087,11 @@ func (sc *analysisScratch) takeCurves(n, m int) []levelCurves {
 func analyzeAllObs(ts *taskmodel.TaskSet, cfgs []Config, obs *telemetry.Observer, memo *MemoStore) ([]*Result, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
+	}
+	for i, cfg := range cfgs {
+		if err := cfg.ValidateFor(ts.Platform); err != nil {
+			return nil, fmt.Errorf("config %d: %w", i, err)
+		}
 	}
 	n := len(ts.Tasks)
 	scratch := scratchPool.Get().(*analysisScratch)

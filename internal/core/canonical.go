@@ -128,15 +128,41 @@ func (w *hashWriter) cache(c taskmodel.CacheConfig) {
 // beyond priorities: task sets constructed through NewTaskSet or
 // ReadJSON are already in canonical (ascending-priority) order, and
 // priorities are unique in any valid set.
+//
+// Platform fields no configuration in the request reads are hashed as
+// zero (v2): the slot size feeds only the RR and TDMA formulas and the
+// regulation parameters only the Regulated one, so e.g. two FP requests
+// differing solely in SlotSize share one key — one cache slot, one
+// coalescing bucket, one fleet owner.
 func CanonicalKey(ts *taskmodel.TaskSet, cfgs []Config) string {
 	w := &hashWriter{h: sha256.New()}
-	w.str("buscon/canonical/v1")
+	w.str("buscon/canonical/v2")
+
+	slotUsed, regUsed := false, false
+	canon := make([]Config, len(cfgs))
+	for i, c := range cfgs {
+		canon[i] = c.canonical()
+		switch c.Arbiter {
+		case RR, TDMA:
+			slotUsed = true
+		case Regulated:
+			regUsed = true
+		}
+	}
 
 	p := ts.Platform
+	if !slotUsed {
+		p.SlotSize = 0
+	}
+	if !regUsed {
+		p.RegBudget, p.RegPeriod = 0, 0
+	}
 	w.i64(int64(p.NumCores))
 	w.cache(p.Cache)
 	w.i64(int64(p.DMem))
 	w.i64(int64(p.SlotSize))
+	w.i64(p.RegBudget)
+	w.i64(int64(p.RegPeriod))
 	w.cache(p.L2)
 	w.i64(int64(p.DL2))
 
@@ -155,9 +181,8 @@ func CanonicalKey(ts *taskmodel.TaskSet, cfgs []Config) string {
 		w.set(t.PCB)
 	}
 
-	w.u64(uint64(len(cfgs)))
-	for _, c := range cfgs {
-		c = c.canonical()
+	w.u64(uint64(len(canon)))
+	for _, c := range canon {
 		w.i64(int64(c.Arbiter))
 		w.boolean(c.Persistence)
 		w.i64(int64(c.CRPD))

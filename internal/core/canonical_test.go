@@ -123,3 +123,48 @@ func TestCanonicalKeyNormalization(t *testing.T) {
 		t.Error("associativity 0 vs 1 (same geometry) hash differently")
 	}
 }
+
+// TestCanonicalKeyPlatformNormalization: platform knobs only some
+// arbiters read must hash as zero when no configuration in the request
+// uses such an arbiter — two FP requests differing only in the slot
+// size are the same analysis and must share one cache entry.
+func TestCanonicalKeyPlatformNormalization(t *testing.T) {
+	fpOnly := []Config{{Arbiter: FP, Persistence: true}, {Arbiter: Perfect}}
+	a := fixtures.Fig1TaskSet()
+	b := fixtures.Fig1TaskSet()
+	b.Platform.SlotSize = a.Platform.SlotSize + 3
+	if CanonicalKey(a, fpOnly) != CanonicalKey(b, fpOnly) {
+		t.Error("SlotSize split the key of a request with no RR/TDMA configuration")
+	}
+	// The regulation parameters are ignored by everything but Regulated.
+	c := fixtures.Fig1TaskSet()
+	c.Platform.RegBudget = 7
+	c.Platform.RegPeriod = 500
+	if CanonicalKey(a, fig1Cfgs()) != CanonicalKey(c, fig1Cfgs()) {
+		t.Error("regulation parameters split the key of a request with no Regulated configuration")
+	}
+	// With a Regulated configuration present they are load-bearing.
+	reg := fixtures.Fig1TaskSet()
+	reg.Platform.RegBudget = 4
+	reg.Platform.RegPeriod = 200
+	regCfgs := []Config{{Arbiter: Regulated}}
+	base := CanonicalKey(reg, regCfgs)
+	moreQ := fixtures.Fig1TaskSet()
+	moreQ.Platform.RegBudget = 5
+	moreQ.Platform.RegPeriod = 200
+	if CanonicalKey(moreQ, regCfgs) == base {
+		t.Error("RegBudget did not move the key of a Regulated request")
+	}
+	longerP := fixtures.Fig1TaskSet()
+	longerP.Platform.RegBudget = 4
+	longerP.Platform.RegPeriod = 300
+	if CanonicalKey(longerP, regCfgs) == base {
+		t.Error("RegPeriod did not move the key of a Regulated request")
+	}
+	// ParAware ignores the slot size too: it always serves one access
+	// per turn.
+	paCfgs := []Config{{Arbiter: ParAware}}
+	if CanonicalKey(a, paCfgs) != CanonicalKey(b, paCfgs) {
+		t.Error("SlotSize split the key of a ParAware-only request")
+	}
+}

@@ -460,8 +460,9 @@ func (a *Analyzer) fpRemote(cur *remoteCursor) taskmodel.Time {
 // fpReset prepares the cursors for the priority-level row ii at the
 // starting iterate r, setting a.fp to the level's persistent state.
 // Remote curves are read at level ii for the FP bus and at the
-// lowest-priority level for RR (Eq. 8 charges remote demand at the
-// bottom level); TDMA and Perfect need none.
+// lowest-priority level for RR, Regulated and ParAware (their BAT
+// formulas charge remote demand at the bottom level, like Eq. 8);
+// TDMA and Perfect need none.
 //
 // When the level was analyzed before and the seed equals the iterate
 // its cursors stopped at — the steady state of the outer loop, whose
@@ -513,6 +514,7 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 				}
 			}
 			s.minNext = minNext
+			a.clampRegNext(s, r)
 		}
 		return
 	}
@@ -553,7 +555,10 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 		s.baoSum[y], s.lowSum[y] = 0, 0
 	}
 	s.remote = s.remote[:0]
-	if a.Cfg.Arbiter != FP && a.Cfg.Arbiter != RR {
+	a.clampRegNext(s, r)
+	switch a.Cfg.Arbiter {
+	case FP, RR, Regulated, ParAware:
+	default:
 		return
 	}
 	if cap(s.remote) < len(a.tab.tasks) {
@@ -585,7 +590,9 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 		}
 	}
 	level := ii
-	if a.Cfg.Arbiter == RR {
+	if a.Cfg.Arbiter != FP {
+		// RR, Regulated and ParAware all read remote demand at the
+		// lowest priority level.
 		level = a.tab.prioIdx[a.TS.LowestPriority()]
 	}
 	for y := 0; y < m; y++ {
@@ -598,6 +605,22 @@ func (a *Analyzer) fpReset(ii int, core int, r taskmodel.Time) {
 		if a.Cfg.Arbiter == FP {
 			addRemote(low, idxs[len(remote):], y, true)
 		}
+	}
+}
+
+// clampRegNext folds the regulated bus's budget breakpoint into the
+// cursor minimum: regCapAt steps at t = k·P+1 independently of every
+// task curve, so the breakpoint jump must not skip across one — the
+// jump's premise is that f is constant on (r, next], and for Regulated
+// f also reads the cap. The clamp may fire early (recomputing an
+// unchanged f), never late, preserving the naive iterate chain.
+func (a *Analyzer) clampRegNext(s *fpState, t taskmodel.Time) {
+	if a.Cfg.Arbiter != Regulated {
+		return
+	}
+	p := int64(a.TS.Platform.RegPeriod)
+	if bp := taskmodel.Time(ceilDiv(int64(t), p)*p + 1); bp < s.minNext {
+		s.minNext = bp
 	}
 }
 
@@ -642,6 +665,7 @@ func (a *Analyzer) fpAdvance(t taskmodel.Time) {
 		}
 	}
 	s.minNext = minNext
+	a.clampRegNext(s, t)
 	if a.obs != nil {
 		a.obs.Add(telemetry.CtrBreakpointSnaps, snaps)
 	}
@@ -682,6 +706,28 @@ func (a *Analyzer) fpBAT(md int64, core int, hasLP bool) int64 {
 		slot := int64(a.TS.Platform.SlotSize)
 		l := int64(a.TS.Platform.NumCores)
 		return bas + (l-1)*slot*bas + plus1
+	case Regulated:
+		// s.at is the iterate the sums are valid at — responseTime keeps
+		// it equal to the current iterate r at every fpBAT call — so the
+		// budget cap is evaluated at exactly the t BAT() would use.
+		rc := regCapAt(a.TS.Platform, s.at)
+		total := bas + plus1
+		for y := 0; y < len(s.baoSum); y++ {
+			if y == core {
+				continue
+			}
+			total += min64(s.baoSum[y], rc+bas)
+		}
+		return total
+	case ParAware:
+		total := bas + plus1
+		for y := 0; y < len(s.baoSum); y++ {
+			if y == core {
+				continue
+			}
+			total += min64(s.baoSum[y], bas)
+		}
+		return total
 	default:
 		panic(fmt.Sprintf("core: unknown arbiter %d", int(a.Cfg.Arbiter)))
 	}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/crpd"
 	"repro/internal/persistence"
 	"repro/internal/taskgen"
 	"repro/internal/taskmodel"
@@ -28,6 +29,13 @@ func differentialCorpus(t *testing.T, count int) []*taskmodel.TaskSet {
 	// dimensions.
 	dmems := []taskmodel.Time{2, 5, 9}
 	slots := []int{1, 2, 4}
+	// Regulation parameters stress the Regulated arbiter's two regimes:
+	// Q=1 with a long period keeps remote cores budget-starved (the
+	// regCap(t)+bas cap dominates), generous budgets make the plain
+	// bao term dominate, and a short period exercises many replenishment
+	// breakpoints per window.
+	regBudgets := []int64{1, 4, 12}
+	regPeriods := []taskmodel.Time{50, 150, 400}
 	seed := int64(0)
 	for len(out) < count {
 		cfg := taskgen.DefaultConfig()
@@ -36,6 +44,8 @@ func differentialCorpus(t *testing.T, count int) []*taskmodel.TaskSet {
 		cfg.CoreUtilization = utils[(seed/4)%int64(len(utils))]
 		cfg.Platform.DMem = dmems[(seed/3)%int64(len(dmems))]
 		cfg.Platform.SlotSize = slots[(seed/7)%int64(len(slots))]
+		cfg.Platform.RegBudget = regBudgets[(seed/5)%int64(len(regBudgets))]
+		cfg.Platform.RegPeriod = regPeriods[(seed/11)%int64(len(regPeriods))]
 		pool, err := taskgen.PoolFromSuite(cfg.Platform.Cache)
 		if err != nil {
 			t.Fatal(err)
@@ -51,14 +61,25 @@ func differentialCorpus(t *testing.T, count int) []*taskmodel.TaskSet {
 }
 
 func differentialConfigs() []Config {
+	// Every declared arbiter (including Regulated and ParAware) crossed
+	// with persistence off and each CPRO approach. The CRPD approach
+	// rotates through all five values across the grid rather than
+	// multiplying it: every approach still meets several arbiters and
+	// vice versa, at a fifth of the cost of the full product.
+	crpds := []crpd.Approach{
+		crpd.ECBUnion, crpd.UCBOnly, crpd.ECBOnly, crpd.UCBUnion, crpd.Combined,
+	}
 	var cfgs []Config
-	for _, arb := range []Arbiter{FP, RR, TDMA, Perfect} {
-		cfgs = append(cfgs, Config{Arbiter: arb, Persistence: false})
-		for _, cpro := range []persistence.CPROApproach{
+	for ai, arb := range Arbiters() {
+		cfgs = append(cfgs, Config{Arbiter: arb, Persistence: false, CRPD: crpds[ai%len(crpds)]})
+		for pi, cpro := range []persistence.CPROApproach{
 			persistence.Union, persistence.MultisetUnion,
 			persistence.FullReload, persistence.None,
 		} {
-			cfgs = append(cfgs, Config{Arbiter: arb, Persistence: true, CPRO: cpro})
+			cfgs = append(cfgs, Config{
+				Arbiter: arb, Persistence: true, CPRO: cpro,
+				CRPD: crpds[(ai+pi+1)%len(crpds)],
+			})
 		}
 	}
 	return cfgs
@@ -240,6 +261,8 @@ func TestResponseTimeZeroAlloc(t *testing.T) {
 		{Arbiter: FP, Persistence: true, CPRO: persistence.MultisetUnion},
 		{Arbiter: RR, Persistence: true, CPRO: persistence.Union},
 		{Arbiter: TDMA, Persistence: false},
+		{Arbiter: Regulated, Persistence: true, CPRO: persistence.Union},
+		{Arbiter: ParAware, Persistence: false},
 	} {
 		ts := differentialCorpus(t, 1)[0]
 		a, err := NewAnalyzer(ts, cfg)

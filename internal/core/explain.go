@@ -156,8 +156,31 @@ func Explain(ts *taskmodel.TaskSet, cfg Config, prio int) (*Explanation, error) 
 		// demand; expose it as a single synthetic term.
 		ex.SlotWait = int64(ts.Platform.NumCores-1) * int64(ts.Platform.SlotSize) * ex.BAS
 		ex.Blocking = a.plus1(prio, ti.Core)
+	case Regulated:
+		n := ts.LowestPriority()
+		rc := regCapAt(ts.Platform, r)
+		for y := 0; y < ts.Platform.NumCores; y++ {
+			if y == ti.Core {
+				continue
+			}
+			raw := a.BAO(n, y, r)
+			ex.Remote = append(ex.Remote, RemoteCoreTerm{Core: y, Accesses: min64(raw, rc+ex.BAS), Raw: raw})
+		}
+		ex.Blocking = a.plus1(prio, ti.Core)
+	case ParAware:
+		n := ts.LowestPriority()
+		for y := 0; y < ts.Platform.NumCores; y++ {
+			if y == ti.Core {
+				continue
+			}
+			raw := a.BAO(n, y, r)
+			ex.Remote = append(ex.Remote, RemoteCoreTerm{Core: y, Accesses: min64(raw, ex.BAS), Raw: raw})
+		}
+		ex.Blocking = a.plus1(prio, ti.Core)
 	case Perfect:
 		// no remote interference
+	default:
+		return nil, fmt.Errorf("core: no explanation for arbiter %v", cfg.Arbiter)
 	}
 	ex.BAT = bat
 	ex.BusTime = taskmodel.Time(bat) * ts.Platform.DMem

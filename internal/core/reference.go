@@ -140,6 +140,27 @@ func (a *refAnalyzer) bat(i int, t taskmodel.Time) int64 {
 		s := int64(a.ts.Platform.SlotSize)
 		l := int64(a.ts.Platform.NumCores)
 		return bas + (l-1)*s*bas + a.plus1(i, core)
+	case Regulated:
+		n := a.ts.LowestPriority()
+		rc := regCapAt(a.ts.Platform, t)
+		total := bas + a.plus1(i, core)
+		for y := 0; y < a.ts.Platform.NumCores; y++ {
+			if y == core {
+				continue
+			}
+			total += min64(a.bao(n, y, t), rc+bas)
+		}
+		return total
+	case ParAware:
+		n := a.ts.LowestPriority()
+		total := bas + a.plus1(i, core)
+		for y := 0; y < a.ts.Platform.NumCores; y++ {
+			if y == core {
+				continue
+			}
+			total += min64(a.bao(n, y, t), bas)
+		}
+		return total
 	default:
 		panic("core: unknown arbiter")
 	}
@@ -248,6 +269,9 @@ func (a *refAnalyzer) run() *Result {
 // returns results bit-identical to Analyze.
 func AnalyzeReference(ts *taskmodel.TaskSet, cfg Config) (*Result, error) {
 	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.ValidateFor(ts.Platform); err != nil {
 		return nil, err
 	}
 	if cfg.MaxOuterIterations == 0 {

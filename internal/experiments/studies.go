@@ -56,7 +56,10 @@ func Fig2(arb core.Arbiter, opts Options) (*Study, error) {
 		intervals[v.Name] = [2][]float64{lo, hi}
 	}
 
-	id := map[core.Arbiter]string{core.FP: "Fig2a", core.RR: "Fig2b", core.TDMA: "Fig2c"}[arb]
+	id := map[core.Arbiter]string{
+		core.FP: "Fig2a", core.RR: "Fig2b", core.TDMA: "Fig2c",
+		core.Regulated: "Fig2reg", core.ParAware: "Fig2par",
+	}[arb]
 	if id == "" {
 		return nil, fmt.Errorf("experiments: Fig2 undefined for arbiter %v", arb)
 	}

@@ -33,16 +33,30 @@ type variantRow struct {
 	cfg  core.Config
 }
 
-func variants() []variantRow {
-	return []variantRow{
+// variants lists every analysis the verdict matrix runs. The regulated
+// rows only appear when the platform carries regulation parameters —
+// without them the regulated analysis rejects the configuration.
+func variants(p taskmodel.Platform) []variantRow {
+	rows := []variantRow{
 		{"FP", core.Config{Arbiter: core.FP}},
 		{"FP-CP", core.Config{Arbiter: core.FP, Persistence: true}},
 		{"RR", core.Config{Arbiter: core.RR}},
 		{"RR-CP", core.Config{Arbiter: core.RR, Persistence: true}},
 		{"TDMA", core.Config{Arbiter: core.TDMA}},
 		{"TDMA-CP", core.Config{Arbiter: core.TDMA, Persistence: true}},
-		{"Perfect", core.Config{Arbiter: core.Perfect, Persistence: true}},
 	}
+	if p.RegBudget >= 1 && p.RegPeriod >= 1 {
+		rows = append(rows,
+			variantRow{"Regulated", core.Config{Arbiter: core.Regulated}},
+			variantRow{"Regulated-CP", core.Config{Arbiter: core.Regulated, Persistence: true}},
+		)
+	}
+	rows = append(rows,
+		variantRow{"ParAware", core.Config{Arbiter: core.ParAware}},
+		variantRow{"ParAware-CP", core.Config{Arbiter: core.ParAware, Persistence: true}},
+		variantRow{"Perfect", core.Config{Arbiter: core.Perfect, Persistence: true}},
+	)
+	return rows
 }
 
 // Write renders the report.
@@ -72,7 +86,7 @@ func Write(w io.Writer, ts *taskmodel.TaskSet, opts Options) error {
 	fmt.Fprintf(w, "## Schedulability verdicts\n\n")
 	fmt.Fprintf(w, "| analysis | schedulable | outer iterations |\n|---|---|---|\n")
 	results := map[string]*core.Result{}
-	for _, v := range variants() {
+	for _, v := range variants(ts.Platform) {
 		res, err := core.Analyze(ts, v.cfg)
 		if err != nil {
 			return err
@@ -154,7 +168,7 @@ func Write(w io.Writer, ts *taskmodel.TaskSet, opts Options) error {
 	if opts.Sensitivity {
 		fmt.Fprintf(w, "## Sensitivity\n\n")
 		fmt.Fprintf(w, "| analysis | max d_mem | critical scaling |\n|---|---|---|\n")
-		for _, v := range variants() {
+		for _, v := range variants(ts.Platform) {
 			if v.cfg.Arbiter == core.Perfect {
 				continue
 			}

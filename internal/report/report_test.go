@@ -39,7 +39,8 @@ func TestWriteFullReport(t *testing.T) {
 	for _, want := range []string{
 		"# Bus contention analysis report",
 		"## Schedulability verdicts",
-		"| FP |", "| FP-CP |", "| RR |", "| RR-CP |", "| TDMA |", "| TDMA-CP |", "| Perfect |",
+		"| FP |", "| FP-CP |", "| RR |", "| RR-CP |", "| TDMA |", "| TDMA-CP |",
+		"| Regulated |", "| Regulated-CP |", "| ParAware |", "| ParAware-CP |", "| Perfect |",
 		"## Per-task bounds (RR-CP)",
 		"## Bound decomposition — most stressed task",
 		"## Sensitivity",
@@ -67,6 +68,14 @@ func TestWriteMinimalReport(t *testing.T) {
 	}
 	if !strings.Contains(out, "tau2") {
 		t.Error("per-task table missing tau2")
+	}
+	// Fig. 1's platform carries no regulation parameters, so the
+	// regulated rows must be absent rather than erroring the report.
+	if strings.Contains(out, "| Regulated |") {
+		t.Error("regulated verdict row present despite an unregulated platform")
+	}
+	if !strings.Contains(out, "| ParAware |") {
+		t.Error("ParAware verdict row missing")
 	}
 }
 

@@ -108,9 +108,9 @@ func (r *baseRegistry) len() int {
 // guessed); selectors refer to the base task set, before any edit in
 // the list applies. Neither selector targets the platform. Field uses
 // the taskmodel JSON vocabulary: pd, md, mdr, period, deadline,
-// priority, core, ucb, ecb, pcb for tasks; d_mem, slot_size for the
-// platform. Value is the new value — a number for scalars, a cache-set
-// index array for ucb/ecb/pcb.
+// priority, core, ucb, ecb, pcb for tasks; d_mem, slot_size,
+// reg_budget, reg_period for the platform. Value is the new value — a
+// number for scalars, a cache-set index array for ucb/ecb/pcb.
 type wireEdit struct {
 	Task     string          `json:"task,omitempty"`
 	Priority *int            `json:"priority,omitempty"`
@@ -185,8 +185,12 @@ func applyEdits(base *taskmodel.TaskSet, edits []wireEdit) (*taskmodel.TaskSet, 
 				plat.DMem = v
 			case "slot_size":
 				plat.SlotSize = int(v)
+			case "reg_budget":
+				plat.RegBudget = v
+			case "reg_period":
+				plat.RegPeriod = v
 			default:
-				return nil, fmt.Errorf("edit %d: unknown platform field %q (want d_mem or slot_size)", ei, e.Field)
+				return nil, fmt.Errorf("edit %d: unknown platform field %q (want d_mem, slot_size, reg_budget or reg_period)", ei, e.Field)
 			}
 			continue
 		}
@@ -311,6 +315,15 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		cfgs, err = parseConfigs(req.Configs)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	// The edits may have invalidated a cross-field constraint the base
+	// satisfied (e.g. zeroing reg_budget under a regulated config); that
+	// is still malformed input, not an engine failure.
+	for i, cfg := range cfgs {
+		if err := cfg.ValidateFor(ts.Platform); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("config %d: %w", i, err))
 			return
 		}
 	}

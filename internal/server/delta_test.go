@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/cacheset"
@@ -396,5 +397,50 @@ func TestBaseRegistryBounded(t *testing.T) {
 	}
 	if _, _, ok := r.get("k7"); ok {
 		t.Error("cold base survived while a warmer one was evicted")
+	}
+}
+
+// TestDeltaEditCannotInvalidateRegulatedConfig: an edit that zeroes a
+// regulation parameter under a regulated configuration is malformed
+// input — the delta path must answer a named-field 400 before the
+// engine sees it, never a 500.
+func TestDeltaEditCannotInvalidateRegulatedConfig(t *testing.T) {
+	obs := telemetry.New()
+	hs := httptest.NewServer(New(Options{Observer: obs}).Handler())
+	defer hs.Close()
+	raw := func(v any) json.RawMessage { b, _ := json.Marshal(v); return b }
+
+	ts := fixtures.Fig1TaskSet()
+	ts.Platform.RegBudget = 4
+	ts.Platform.RegPeriod = 100
+	regCfgs := []wireConfig{{Arbiter: "regulated", Persistence: true}}
+	resp, data := postAnalyze(t, hs.URL, requestBody(t, ts, regCfgs))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base: status %d\n%s", resp.StatusCode, data)
+	}
+	baseKey := decodeEnvelope(t, data).Key
+
+	// A valid regulation edit still works and moves the key.
+	ok := wireDeltaRequest{BaseKey: baseKey, Edits: []wireEdit{{Field: "reg_budget", Value: raw(8)}}}
+	r1, d1 := postJSON(t, hs.URL+"/v1/analyze/delta", ok)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("reg_budget edit: status %d\n%s", r1.StatusCode, d1)
+	}
+	if decodeDelta(t, d1).Key == baseKey {
+		t.Error("reg_budget edit did not change the canonical key")
+	}
+
+	// Zeroing the budget invalidates the regulated config: 400, not 500.
+	bad := wireDeltaRequest{BaseKey: baseKey, Edits: []wireEdit{{Field: "reg_budget", Value: raw(0)}}}
+	r2, d2 := postJSON(t, hs.URL+"/v1/analyze/delta", bad)
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zeroed reg_budget: status %d, want 400\n%s", r2.StatusCode, d2)
+	}
+	var we wireError
+	if err := json.Unmarshal(d2, &we); err != nil {
+		t.Fatalf("error body not JSON: %v\n%s", err, d2)
+	}
+	if !strings.Contains(we.Error, "RegBudget") && !strings.Contains(we.Error, "reg") {
+		t.Errorf("error %q does not name the offending field", we.Error)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fixtures"
+	"repro/internal/taskmodel"
 	"repro/internal/telemetry"
 )
 
@@ -36,10 +38,11 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *swapHandler) set(h http.Handler) { s.h.Store(h) }
 
 type fleet struct {
-	urls []string
-	srvs []*Server
-	obs  []*telemetry.Observer
-	hs   []*httptest.Server
+	urls  []string
+	srvs  []*Server
+	obs   []*telemetry.Observer
+	hs    []*httptest.Server
+	swaps []*swapHandler
 }
 
 func newFleet(t *testing.T, n int, mod func(i int, o *Options)) *fleet {
@@ -53,6 +56,7 @@ func newFleet(t *testing.T, n int, mod func(i int, o *Options)) *fleet {
 		f.hs = append(f.hs, hs)
 		f.urls = append(f.urls, hs.URL)
 	}
+	f.swaps = swaps
 	for i := 0; i < n; i++ {
 		ring, err := cluster.NewRing(f.urls[i], f.urls, time.Second)
 		if err != nil {
@@ -283,6 +287,73 @@ func TestFleetOwnerLossDegradesToLocalCompute(t *testing.T) {
 	}
 }
 
+// TestFleetOldNodeRejectsNewArbiter pins the mixed-version upgrade
+// path: an edge node that understands the regulated arbiter proxies the
+// request to its owner, but the owner is an old build whose parser
+// rejects "regulated" with a 400. The edge must treat the rejection
+// like any other peer failure — degrade, compute locally, answer 200 —
+// never relay the 4xx or turn it into a 5xx.
+func TestFleetOldNodeRejectsNewArbiter(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	regCfgs := []wireConfig{{Arbiter: "regulated", Persistence: true}}
+	// Search DMem variants (with the regulation parameters the config
+	// needs) for a body node 2 owns.
+	var body []byte
+	for d := int64(1); d <= 4096; d++ {
+		ts := fixtures.Fig1TaskSet()
+		ts.Platform.DMem = taskmodel.Time(d)
+		ts.Platform.RegBudget = 4
+		ts.Platform.RegPeriod = 100
+		b := requestBody(t, ts, regCfgs)
+		if f.ownerIndex(t, keyOfBody(t, b)) == 2 {
+			body = b
+			break
+		}
+	}
+	if body == nil {
+		t.Fatal("no regulated Fig. 1 variant hashed to node 2")
+	}
+	// Replace the owner with an old node: it parses nothing and answers
+	// every analyze with the 400 its older vocabulary would produce.
+	f.swaps[2].set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(wireError{
+			Error: `config 0: unknown arbiter "regulated" (want fp, rr, tdma or perfect)`,
+		})
+	}))
+
+	resp, data := postAnalyze(t, f.urls[0], body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edge answered %d, want 200 (degrade to local compute)\n%s", resp.StatusCode, data)
+	}
+	env := decodeEnvelope(t, data)
+	if len(env.Results) == 0 {
+		t.Fatal("degraded request returned no results")
+	}
+	if got := f.obs[0].Metrics.Get(telemetry.CtrServerPeerDegraded); got != 1 {
+		t.Errorf("edge peer_degraded = %d, want 1", got)
+	}
+	if got := f.obs[0].Metrics.Get(telemetry.CtrServerAnalyses); got != 1 {
+		t.Errorf("edge analyses = %d, want 1 (local compute)", got)
+	}
+
+	// A genuinely malformed arbiter is still the client's fault: the
+	// edge rejects it itself with a named-field 400, no proxying, no 5xx.
+	bad := bytes.Replace(body, []byte(`"regulated"`), []byte(`"memguard"`), 1)
+	bresp, bdata := postAnalyze(t, f.urls[0], bad)
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown arbiter: status %d, want 400\n%s", bresp.StatusCode, bdata)
+	}
+	var werr wireError
+	if err := json.Unmarshal(bdata, &werr); err != nil {
+		t.Fatalf("error body not JSON: %v\n%s", err, bdata)
+	}
+	if !strings.Contains(werr.Error, "arbiter") || !strings.Contains(werr.Error, "memguard") {
+		t.Errorf("error %q does not name the bad field and value", werr.Error)
+	}
+}
+
 // TestFleetDeltaRoutesToBaseOwner: deltas route by the *base* key — the
 // owner holds the base registry entry and the warm memo backbones — and
 // a node that never saw the base proxies instead of 404ing.
@@ -416,13 +487,23 @@ func TestEncodeAnalyzeBodyRoundTrip(t *testing.T) {
 		{Arbiter: "tdma", Persistence: true, CRPD: "ecb-only", CPRO: "full"},
 		{Arbiter: "perfect", Persistence: true, CRPD: "ucb-union", CPRO: "none"},
 		{Arbiter: "fp", Persistence: true, CRPD: "combined", MaxOuterIterations: 7},
+		{Arbiter: "regulated", Persistence: true, CRPD: "ecb-union", CPRO: "union"},
+		{Arbiter: "paraware", Persistence: true, CRPD: "ucb-only", CPRO: "multiset"},
 	}
 	ts := fixtures.Fig1TaskSet()
-	cfgs := coreConfigs(t, wide)
-
-	body, err := cluster.EncodeAnalyzeBody(ts, cfgs)
+	ts.Platform.RegBudget = 4
+	ts.Platform.RegPeriod = 100
+	// Not coreConfigs: that helper decodes against the plain Fig. 1
+	// platform, whose zero regulation parameters would reject the
+	// regulated entry before the round trip under test even starts.
+	cfgs, err := parseConfigs(wide)
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	body, encErr := cluster.EncodeAnalyzeBody(ts, cfgs)
+	if encErr != nil {
+		t.Fatal(encErr)
 	}
 	var req wireAnalyzeRequest
 	if err := json.Unmarshal(body, &req); err != nil {

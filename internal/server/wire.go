@@ -79,10 +79,14 @@ func parseArbiter(s string) (core.Arbiter, error) {
 		return core.TDMA, nil
 	case "perfect":
 		return core.Perfect, nil
+	case "regulated":
+		return core.Regulated, nil
+	case "paraware":
+		return core.ParAware, nil
 	case "":
-		return 0, fmt.Errorf("missing arbiter (want fp, rr, tdma or perfect)")
+		return 0, fmt.Errorf("missing arbiter (want fp, rr, tdma, perfect, regulated or paraware)")
 	default:
-		return 0, fmt.Errorf("unknown arbiter %q (want fp, rr, tdma or perfect)", s)
+		return 0, fmt.Errorf("unknown arbiter %q (want fp, rr, tdma, perfect, regulated or paraware)", s)
 	}
 }
 
@@ -132,6 +136,14 @@ func (r *wireAnalyzeRequest) decode() (*taskmodel.TaskSet, []core.Config, error)
 	cfgs, err := parseConfigs(r.Configs)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Cross-field check the parsers cannot see: every configuration must
+	// be analyzable against this platform (e.g. a regulated config needs
+	// the regulation parameters), so engine switches never reject input.
+	for i, cfg := range cfgs {
+		if err := cfg.ValidateFor(ts.Platform); err != nil {
+			return nil, nil, fmt.Errorf("config %d: %w", i, err)
+		}
 	}
 	return ts, cfgs, nil
 }

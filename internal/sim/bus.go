@@ -19,12 +19,24 @@ import "fmt"
 //     owns s consecutive slots per cycle of NumCores×s, so a request
 //     waits at most (NumCores−1)·s slots plus one in-service
 //     transaction, exactly Eq. (9)'s accounting.
+//   - PolicyRegulated: work-conserving MemGuard-style bandwidth
+//     regulation: every core's budget of regQ accesses refills every
+//     regP cycles; cores with budget left have strict priority over
+//     exhausted ones, each class served round-robin one access at a
+//     time, and exhausted cores reclaim otherwise-idle bandwidth. A
+//     budgeted grant spends one unit of the granting core's budget.
+//   - PolicyParAware: work-conserving round robin over cores, one
+//     access per turn — the single-outstanding-request arbitration the
+//     parallelism-aware per-access bound models (each access waits for
+//     at most one in-flight request per other core).
 type Policy int
 
 const (
 	PolicyFP Policy = iota
 	PolicyRR
 	PolicyTDMA
+	PolicyRegulated
+	PolicyParAware
 )
 
 func (p Policy) String() string {
@@ -35,6 +47,10 @@ func (p Policy) String() string {
 		return "RR"
 	case PolicyTDMA:
 		return "TDMA"
+	case PolicyRegulated:
+		return "Regulated"
+	case PolicyParAware:
+		return "ParAware"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -63,10 +79,23 @@ type bus struct {
 	current   request
 	remaining int64
 
-	// RR/TDMA turn state
+	// RR/TDMA/ParAware turn state (also the budgeted-class pointer of
+	// the regulated bus)
 	turnCore  int
 	turnUsed  int
 	idleSlots int64 // TDMA: cycles left of a deliberately idle slot
+
+	// Regulated state: per-core budgets, refill parameters, the cycle
+	// counter driving replenishment, the reclaim-class round-robin
+	// pointer (advanced only by reclaim grants, so budgeted traffic
+	// cannot reorder the exhausted cores among themselves), and whether
+	// the in-service transaction was a reclaim grant.
+	regQ        int64
+	regP        int64
+	budget      []int64
+	now         int64
+	reclaimTurn int
+	curReclaim  bool
 
 	// stats
 	served   int64
@@ -74,14 +103,20 @@ type bus struct {
 	idleHeld int64 // TDMA: cycles idled away while demand was pending
 }
 
-func newBus(policy Policy, numCores, slotSize int, dmem int64) *bus {
-	return &bus{
+func newBus(policy Policy, numCores, slotSize int, dmem, regQ, regP int64) *bus {
+	b := &bus{
 		policy:   policy,
 		numCores: numCores,
 		slotSize: slotSize,
 		dmem:     dmem,
+		regQ:     regQ,
+		regP:     regP,
 		pending:  make([]*request, numCores),
 	}
+	if policy == PolicyRegulated {
+		b.budget = make([]int64, numCores)
+	}
+	return b
 }
 
 // submit registers a request for the core; at most one may be
@@ -131,7 +166,32 @@ func (b *bus) advanceTurn() {
 // same simulation cycle starts service immediately. The completed
 // request, if the in-flight transaction finished at the end of this
 // cycle, is returned.
+// slotLimit is the number of consecutive services per turn: the
+// configured slot size for RR/TDMA, one for the parallelism-aware bus.
+func (b *bus) slotLimit() int {
+	if b.policy == PolicyParAware {
+		return 1
+	}
+	return b.slotSize
+}
+
+// replenish refills every core's budget at regulation period
+// boundaries (cycle 0 starts every core fully budgeted) and advances
+// the regulation clock. Called once per cycle, before arbitration.
+func (b *bus) replenish() {
+	if b.policy != PolicyRegulated {
+		return
+	}
+	if b.now%b.regP == 0 {
+		for c := range b.budget {
+			b.budget[c] = b.regQ
+		}
+	}
+	b.now++
+}
+
 func (b *bus) tick() *request {
+	b.replenish()
 	// TDMA: an idle slot in progress blocks the bus even with demand
 	// pending (non-work-conserving).
 	if b.idleSlots > 0 {
@@ -168,9 +228,18 @@ func (b *bus) tick() *request {
 	}
 	b.busy = false
 	done := b.current
-	if b.policy == PolicyRR || b.policy == PolicyTDMA {
+	switch b.policy {
+	case PolicyRR, PolicyTDMA, PolicyParAware:
 		b.turnUsed++
-		if b.turnUsed >= b.slotSize {
+		if b.turnUsed >= b.slotLimit() {
+			b.advanceTurn()
+		}
+	case PolicyRegulated:
+		// Slot-1 round robin within the class the grant was made under;
+		// the other class's pointer is untouched.
+		if b.curReclaim {
+			b.reclaimTurn = (b.reclaimTurn + 1) % b.numCores
+		} else {
 			b.advanceTurn()
 		}
 	}
@@ -194,7 +263,7 @@ func (b *bus) grant() {
 		if best >= 0 {
 			b.start(best)
 		}
-	case PolicyRR:
+	case PolicyRR, PolicyParAware:
 		if !b.hasPending() {
 			return
 		}
@@ -205,6 +274,31 @@ func (b *bus) grant() {
 				return
 			}
 			b.advanceTurn()
+		}
+	case PolicyRegulated:
+		// Budgeted requests first, round-robin from the budgeted turn
+		// pointer; a grant spends one budget unit.
+		for scanned := 0; scanned < b.numCores; scanned++ {
+			c := (b.turnCore + scanned) % b.numCores
+			if b.pending[c] != nil && b.budget[c] > 0 {
+				b.turnCore = c
+				b.turnUsed = 0
+				b.budget[c]--
+				b.curReclaim = false
+				b.start(c)
+				return
+			}
+		}
+		// No budgeted demand: exhausted cores reclaim the bandwidth,
+		// round-robin on their own pointer (work-conserving).
+		for scanned := 0; scanned < b.numCores; scanned++ {
+			c := (b.reclaimTurn + scanned) % b.numCores
+			if b.pending[c] != nil {
+				b.reclaimTurn = c
+				b.curReclaim = true
+				b.start(c)
+				return
+			}
 		}
 	case PolicyTDMA:
 		if !b.hasPending() {

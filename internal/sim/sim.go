@@ -217,7 +217,10 @@ func Run(plat taskmodel.Platform, bindings []TaskBinding, cfg Config) (*Result, 
 			cores[i].dl2 = int64(plat.DL2)
 		}
 	}
-	b := newBus(cfg.Policy, plat.NumCores, plat.SlotSize, int64(plat.DMem))
+	if cfg.Policy == PolicyRegulated && (plat.RegBudget < 1 || plat.RegPeriod < 1) {
+		return nil, fmt.Errorf("sim: regulated policy needs platform RegBudget >= 1 and RegPeriod >= 1 (got Q=%d P=%d)", plat.RegBudget, plat.RegPeriod)
+	}
+	b := newBus(cfg.Policy, plat.NumCores, plat.SlotSize, int64(plat.DMem), plat.RegBudget, int64(plat.RegPeriod))
 
 	res := &Result{Tasks: map[int]*TaskStats{}, Cycles: cfg.Horizon}
 	for i := range bindings {

@@ -136,10 +136,12 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		Platform: taskmodel.Platform{
-			NumCores: 4,
-			Cache:    taskmodel.CacheConfig{NumSets: 256, BlockSizeBytes: 32},
-			DMem:     5,
-			SlotSize: 2,
+			NumCores:  4,
+			Cache:     taskmodel.CacheConfig{NumSets: 256, BlockSizeBytes: 32},
+			DMem:      5,
+			SlotSize:  2,
+			RegBudget: 5,
+			RegPeriod: 100,
 		},
 		TasksPerCore:    8,
 		CoreUtilization: 0.5,

@@ -69,6 +69,15 @@ type Platform struct {
 	// RR and TDMA arbiters (default 2 in the paper). Ignored by the FP
 	// bus.
 	SlotSize int
+	// RegBudget is Q, the per-core budget of bus accesses replenished
+	// every RegPeriod cycles under the bandwidth-regulated (MemGuard
+	// style) arbiter. Ignored by every other arbiter; must be >= 1 when
+	// a Regulated analysis or simulation actually runs.
+	RegBudget int64
+	// RegPeriod is P, the replenishment period of the regulated bus in
+	// cycles. Ignored by every other arbiter; must be >= 1 when a
+	// Regulated analysis or simulation actually runs.
+	RegPeriod Time
 	// L2 optionally adds a private second-level cache per core
 	// (NumSets 0 disables it — the paper's single-level model). Only
 	// the simulator and the hierarchy analysis consume it; the bus
@@ -98,6 +107,15 @@ func (p Platform) Validate() error {
 	}
 	if p.SlotSize < 1 {
 		return fmt.Errorf("platform: SlotSize = %d, need >= 1", p.SlotSize)
+	}
+	// The regulation parameters are optional (only the Regulated
+	// arbiter reads them, and it checks presence at construction), but
+	// negative values are always malformed.
+	if p.RegBudget < 0 {
+		return fmt.Errorf("platform: RegBudget = %d, need >= 0", p.RegBudget)
+	}
+	if p.RegPeriod < 0 {
+		return fmt.Errorf("platform: RegPeriod = %d, need >= 0", p.RegPeriod)
 	}
 	if p.HasL2() {
 		if p.L2.BlockSizeBytes != p.Cache.BlockSizeBytes {
